@@ -1,0 +1,58 @@
+"""Benchmark fixtures.
+
+Environments are session-scoped (the dataset loads once).  The full
+113-query Fig-12 matrix is expensive; by default a representative subset
+runs — set ``REPRO_FULL_JOB=1`` to sweep the complete benchmark, as the
+EXPERIMENTS.md numbers were produced.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.job_queries import all_queries
+from repro.workloads.loader import build_environment
+
+#: One query per JOB family area, spanning 4..14 tables.
+QUICK_QUERY_SET = ["1a", "2d", "3b", "4a", "5c", "6b", "7a", "8c", "8d",
+                   "10a", "11a", "13b", "14a", "16b", "17b", "17e", "19d",
+                   "21a", "22c", "25b", "28a", "32a", "33c"]
+
+
+def selected_queries():
+    """Query names for the Fig-12/13 sweep (full set when requested)."""
+    if os.environ.get("REPRO_FULL_JOB"):
+        return sorted(all_queries())
+    return list(QUICK_QUERY_SET)
+
+
+@pytest.fixture(scope="session")
+def job_env():
+    """Indexed JOB environment (most experiments)."""
+    return build_environment(scale=0.0004, seed=7)
+
+
+@pytest.fixture(scope="session")
+def job_env_noindex():
+    """Index-less environment (Experiment 4)."""
+    return build_environment(scale=0.0008, seed=7,
+                             secondary_indexes=False)
+
+
+@pytest.fixture(scope="session")
+def job_env_exp5():
+    """Indexed environment at Exp-4/5 scale (Experiment 5)."""
+    return build_environment(scale=0.0008, seed=7,
+                             secondary_indexes=True)
+
+
+@pytest.fixture(scope="session")
+def job_matrix(job_env):
+    """The Exp-2 strategy matrix, shared by Fig 12 and Fig 13."""
+    from repro.bench.experiments import exp2_job_matrix_fig12
+    return exp2_job_matrix_fig12(job_env, query_names=selected_queries())
+
+
+def run_once(benchmark, func):
+    """Benchmark a deterministic experiment with a single round."""
+    return benchmark.pedantic(func, iterations=1, rounds=1)

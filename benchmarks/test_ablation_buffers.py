@@ -1,0 +1,59 @@
+"""Ablation (§5 setup) — on-device buffer-size sensitivity.
+
+The paper tunes the NDP pipeline buffers and finds that smaller buffers
+cause more frequent refreshes: a BNL join needs >= 512 KB of join
+buffer to perform reasonably, while BNLI joins are less affected.  This
+bench sweeps absolute join-buffer sizes for a BNL-heavy join with a
+large outer input (movie_link pinned to 2000 rows so the outer really
+spans many buffer blocks).
+"""
+
+import pytest
+
+from repro.bench.experiments import force_bnlj
+from repro.bench.reporting import format_table, ms
+from repro.engine.ndp import NDPEngineConfig
+from repro.engine.stacks import Stack, StackRunner
+from repro.workloads.job_queries import LISTING2_FULL_PROJECTION
+from repro.workloads.loader import build_environment
+
+from benchmarks.conftest import run_once
+
+_BUFFER_SIZES = [64 * 1024, 8 * 1024, 2 * 1024, 512]
+
+
+@pytest.fixture(scope="module")
+def env():
+    return build_environment(scale=0.0008, seed=7,
+                             secondary_indexes=False,
+                             table_overrides=(("movie_link", 2000),))
+
+
+def _time_with_buffer(env, join_buffer):
+    runner = StackRunner(
+        env.catalog, env.database, env.device,
+        buffer_scale=env.buffer_scale,
+        ndp_config=NDPEngineConfig(buffer_scale=env.buffer_scale,
+                                   join_buffer_override=join_buffer))
+    plan = force_bnlj(runner.plan(LISTING2_FULL_PROJECTION))
+    return runner.run(plan, Stack.NDP).total_time
+
+
+def test_ablation_join_buffer(benchmark, env):
+    def sweep():
+        return {size: _time_with_buffer(env, size)
+                for size in _BUFFER_SIZES}
+
+    times = run_once(benchmark, sweep)
+    rows = [[f"{size / 1024:.1f} KB", ms(times[size])]
+            for size in _BUFFER_SIZES]
+    print()
+    print(format_table(["BNL join buffer", "NDP time [ms]"],
+                       rows, title="Ablation — BNL join-buffer size"))
+
+    ordered = [times[size] for size in _BUFFER_SIZES]
+    # Shrinking the buffer must never help...
+    for larger, smaller in zip(ordered, ordered[1:]):
+        assert smaller >= larger * 0.99
+    # ...and the smallest buffer must clearly hurt (inner re-scans).
+    assert ordered[-1] > 1.5 * ordered[0]

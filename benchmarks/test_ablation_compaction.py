@@ -1,0 +1,62 @@
+"""Ablation (§2.2) — leveled vs tiered compaction under the JOB load.
+
+The paper's substrate uses RocksDB-style compaction ("tiered or
+leveled").  This bench loads the same skewed update stream under both
+strategies and reports the classic trade-off: tiered writes less
+(lower write amplification), leveled reads less (lower read
+amplification, fewer runs per GET).
+"""
+
+import random
+
+from repro.bench.reporting import format_table
+from repro.lsm.store import LSMConfig, LSMTree
+from repro.storage.flash import FlashDevice
+
+from benchmarks.conftest import run_once
+
+_N_WRITES = 6000
+_KEYSPACE = 600
+
+
+def _load(strategy):
+    config = LSMConfig(memtable_size=2048, level_base_bytes=8192,
+                       sst_target_bytes=4096, block_size=1024,
+                       compaction=strategy, tiered_fanout=4)
+    tree = LSMTree(config=config, flash=FlashDevice())
+    rng = random.Random(11)
+    for i in range(_N_WRITES):
+        key = f"key-{rng.randrange(_KEYSPACE):05d}".encode()
+        tree.put(key, f"value-{i}".encode().ljust(40, b"."))
+    tree.freeze_and_flush()
+    return tree
+
+
+def test_ablation_compaction(benchmark):
+    def load_both():
+        return _load("leveled"), _load("tiered")
+
+    leveled, tiered = run_once(benchmark, load_both)
+    probe = b"key-00007"
+    rows = []
+    for name, tree in (("leveled", leveled), ("tiered", tiered)):
+        stats = tree.compactor.stats
+        rows.append([
+            name,
+            stats.compactions,
+            f"{stats.bytes_written:,}",
+            tree.levels.sst_count(),
+            tree.read_amplification(probe),
+        ])
+    print()
+    print(format_table(
+        ["strategy", "compactions", "bytes written", "SSTs",
+         "read amp (components/GET)"],
+        rows, title="Ablation — compaction strategy trade-off"))
+
+    assert (tiered.compactor.stats.bytes_written
+            < leveled.compactor.stats.bytes_written)
+    assert (tiered.read_amplification(probe)
+            >= leveled.read_amplification(probe))
+    # Both must serve identical data.
+    assert dict(tiered.scan()) == dict(leveled.scan())

@@ -1,0 +1,51 @@
+"""Ablation (§7 discussion) — enterprise-class smart storage.
+
+The paper argues that enterprise devices (16-24 cores, more DRAM,
+~500-1000 EUR/TB) can carry more computationally intensive work, so the
+offloading balance shifts toward the device.  This bench runs the same
+split sweep on the consumer COSMOS+ profile and an enterprise profile:
+late splits and full NDP must become relatively cheaper on the stronger
+device.
+"""
+
+import pytest
+
+from repro.bench.experiments import exp6_split_sweep_fig16
+from repro.bench.reporting import format_table, ms
+from repro.storage.machines import enterprise_device
+from repro.workloads.loader import build_environment
+
+from benchmarks.conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def enterprise_env():
+    return build_environment(scale=0.0004, seed=7,
+                             device_spec=enterprise_device())
+
+
+def test_ablation_enterprise(benchmark, job_env, enterprise_env):
+    def sweep_both():
+        return (exp6_split_sweep_fig16(job_env, "8c"),
+                exp6_split_sweep_fig16(enterprise_env, "8c"))
+
+    consumer, enterprise = run_once(benchmark, sweep_both)
+    rows = []
+    for name in consumer["times"]:
+        c = consumer["times"][name]
+        e = enterprise["times"][name]
+        rows.append([name,
+                     ms(c) if c is not None else "-",
+                     ms(e) if e is not None else "-"])
+    print()
+    print(format_table(
+        ["strategy", "COSMOS+ [ms]", "enterprise [ms]"],
+        rows, title="Ablation — device class vs split sweep (Q8c)"))
+
+    # The strong device executes the full-NDP plan much faster...
+    assert enterprise["times"]["ndp-only"] < consumer["times"]["ndp-only"]
+    # ...and its relative penalty vs host-only shrinks.
+    c_ratio = consumer["times"]["ndp-only"] / consumer["times"]["block-only"]
+    e_ratio = (enterprise["times"]["ndp-only"]
+               / enterprise["times"]["block-only"])
+    assert e_ratio < c_ratio

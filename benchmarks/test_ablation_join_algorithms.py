@@ -1,0 +1,41 @@
+"""Ablation (§5 setup) — on-device join algorithm choice.
+
+The paper prefers/enforces the BNL join over its grace hash join for a
+fair comparison (§5 "Workloads").  This bench runs the same non-indexed
+join with all of nKV's algorithms on the device and reports where each
+stands; the indexed BNLJI should win, GHJ should beat BNLJ under buffer
+pressure, and the classical NLJ should be far behind.
+"""
+
+from repro.bench.experiments import force_join
+from repro.bench.reporting import format_table, ms
+from repro.engine.stacks import Stack
+from repro.query.physical import JoinAlgorithm
+from repro.workloads.job_queries import LISTING2_LIMITED_PROJECTION
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_join_algorithms(benchmark, job_env_exp5):
+    env = job_env_exp5
+
+    def sweep():
+        times = {}
+        plan = env.runner.plan(LISTING2_LIMITED_PROJECTION)
+        times["bnlji (optimizer)"] = env.run(plan, Stack.NDP).total_time
+        for algorithm in (JoinAlgorithm.BNLJ, JoinAlgorithm.GHJ,
+                          JoinAlgorithm.NLJ):
+            forced = force_join(env.runner.plan(
+                LISTING2_LIMITED_PROJECTION), algorithm)
+            times[algorithm.value] = env.run(forced, Stack.NDP).total_time
+        return times
+
+    times = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["join algorithm", "NDP time [ms]"],
+        [[name, ms(value)] for name, value in times.items()],
+        title="Ablation — on-device join algorithms (Listing 2)"))
+
+    assert times["bnlji (optimizer)"] <= times["bnlj"] * 1.35
+    assert times["nlj"] > 3 * times["bnlj"]

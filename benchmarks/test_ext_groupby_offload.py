@@ -1,0 +1,45 @@
+"""Extension — in-situ GROUP BY / aggregation offload (§2.1).
+
+nKV executes GROUP BY and aggregation functions on-device, letting a
+complete NDP pipeline reduce a large input to a handful of groups
+before anything crosses PCIe.  This bench aggregates movie_info genres:
+the NDP stack ships only the group table, the host stacks move the
+input; the size-reducing aggregation is NDP's best case.
+"""
+
+from repro.bench.reporting import format_table, ms
+from repro.engine.stacks import Stack
+
+from benchmarks.conftest import run_once
+
+GROUP_BY_SQL = """SELECT mi.info, COUNT(*) AS n
+FROM info_type AS it, movie_info AS mi
+WHERE it.info = 'genres'
+  AND it.id = mi.info_type_id
+GROUP BY mi.info"""
+
+
+def test_ext_groupby_offload(benchmark, job_env):
+    def run_all():
+        return {
+            "blk": job_env.run(GROUP_BY_SQL, Stack.BLK),
+            "native": job_env.run(GROUP_BY_SQL, Stack.NATIVE),
+            "ndp": job_env.run(GROUP_BY_SQL, Stack.NDP),
+        }
+
+    reports = run_once(benchmark, run_all)
+    rows = [[name, ms(report.total_time), len(report.result)]
+            for name, report in reports.items()]
+    print()
+    print(format_table(["stack", "time [ms]", "groups"],
+                       rows, title="Extension — GROUP BY offload"))
+
+    baseline = reports["blk"].result.sorted_rows()
+    for name, report in reports.items():
+        assert report.result.sorted_rows() == baseline, name
+    # The aggregation is size-reducing: on-device execution must at
+    # least compete with the native host path.
+    assert reports["ndp"].total_time <= reports["native"].total_time * 1.3
+    # The device returns a small group table, not the input.
+    assert len(reports["ndp"].result) < 40
+    assert reports["ndp"].intermediate_rows >= len(reports["ndp"].result)

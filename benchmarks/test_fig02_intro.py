@@ -1,0 +1,24 @@
+"""Fig 2 — introductory experiment: execution alternatives of JOB Q8c.
+
+Paper shape: full NDP is worst, host-only slow, H0 better, a mid split
+(H3) best.
+"""
+
+from repro.bench.experiments import exp_intro_fig2
+from repro.bench.reporting import format_table, ms
+
+from benchmarks.conftest import run_once
+
+
+def test_fig02_intro(benchmark, job_env):
+    result = run_once(benchmark, lambda: exp_intro_fig2(job_env))
+    times = result["times"]
+    print()
+    print(format_table(
+        ["strategy", "time [ms]", "vs host-only"],
+        [[name, ms(value), f"{times['host-only'] / value:.2f}x"]
+         for name, value in times.items()],
+        title=f"Fig 2 — Q{result['query']} execution alternatives"))
+    mid = [k for k in times if k.startswith("H") and k != "H0"][0]
+    assert times[mid] < times["host-only"], "mid split should beat host"
+    assert times["full-ndp"] > times[mid], "full NDP should lose to split"

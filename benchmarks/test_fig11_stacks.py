@@ -1,0 +1,30 @@
+"""Fig 11 — Q8c, Q17b, Q32b on BLK / NATIVE / NDP / hybridNDP.
+
+Paper shape: hybridNDP outperforms all baselines; full NDP is
+sub-optimal for 8c and 32b but on par with NATIVE for 17b.
+"""
+
+from repro.bench.experiments import exp1_stacks_fig11
+from repro.bench.reporting import format_table, ms
+
+from benchmarks.conftest import run_once
+
+
+def test_fig11_stacks(benchmark, job_env):
+    results = run_once(benchmark, lambda: exp1_stacks_fig11(job_env))
+    rows = []
+    for name, row in results.items():
+        rows.append([name, ms(row["blk"]), ms(row["native"]),
+                     ms(row["ndp"]), ms(row["hybridndp"]),
+                     row["decision"]])
+    print()
+    print(format_table(
+        ["query", "blk [ms]", "native [ms]", "ndp [ms]",
+         "hybridNDP [ms]", "decision"],
+        rows, title="Fig 11 — stacks comparison"))
+    for name, row in results.items():
+        assert row["hybridndp"] <= row["blk"] * 1.05, name
+    # 17b is NDP-favourable: full NDP roughly on par with NATIVE.
+    assert results["17b"]["ndp"] <= results["17b"]["native"] * 1.8
+    # 8c is compute-heavy: full NDP clearly worse than host.
+    assert results["8c"]["ndp"] > results["8c"]["native"]

@@ -1,0 +1,47 @@
+"""Fig 12 — the JOB matrix: host-only vs H0..Hx vs full NDP per query.
+
+Paper shape: hybridNDP outperforms or is on par with host-only in ~47%
+of the 113 queries (up to 4.2x), full-NDP best in only ~1.7%, leaf-only
+H0 best in ~7%.  The quick run uses a representative subset; set
+REPRO_FULL_JOB=1 for the complete benchmark.
+"""
+
+from repro.bench.experiments import classify_matrix
+from repro.bench.reporting import (format_table, render_family_grid,
+                                   render_matrix_summary)
+
+
+def test_fig12_job_matrix(benchmark, job_matrix):
+    summary = benchmark.pedantic(lambda: classify_matrix(job_matrix),
+                                 iterations=1, rounds=1)
+    rows = []
+    for name, times in sorted(job_matrix.items()):
+        host = times["host-only"]
+        hybrids = {k: v for k, v in times.items()
+                   if v is not None and k.startswith("H")}
+        best_name = min(hybrids, key=lambda k: hybrids[k]) if hybrids else "-"
+        best = hybrids.get(best_name)
+        rows.append([
+            name,
+            f"{host * 1e3:.2f}",
+            best_name,
+            f"{best * 1e3:.2f}" if best else "-",
+            f"{host / best:.2f}x" if best else "-",
+            summary["per_query"].get(name, "-"),
+        ])
+    print()
+    print(format_table(
+        ["query", "host [ms]", "best split", "best [ms]", "speedup",
+         "class"],
+        rows, title="Fig 12 — JOB strategy matrix"))
+    print()
+    print(render_family_grid(summary["per_query"],
+                             legend="g=green y=yellow r=red"))
+    print()
+    print(render_matrix_summary(summary))
+
+    assert summary["total"] >= 20
+    # Shape assertions, generous bands around the paper's numbers.
+    assert summary["green_yellow_pct"] >= 30.0
+    assert summary["max_speedup"] >= 1.2
+    assert summary["full_ndp_best_pct"] <= 25.0

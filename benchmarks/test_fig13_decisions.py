@@ -1,0 +1,31 @@
+"""Fig 13 — quality of the hybridNDP offloading decision.
+
+Paper shape: the optimizer picks the best strategy in ~20.35% of
+queries and an acceptable one in ~11.5% more (~31.8% suitable overall),
+without injected selectivities.
+"""
+
+from repro.bench.experiments import exp3_decisions_fig13
+from repro.bench.reporting import render_family_grid
+
+
+def test_fig13_decisions(benchmark, job_env, job_matrix):
+    result = benchmark.pedantic(
+        lambda: exp3_decisions_fig13(job_env, job_matrix),
+        iterations=1, rounds=1)
+    print()
+    print("Fig 13 — planner decisions")
+    print(render_family_grid(result["per_query"],
+                             legend="b=best a=acceptable m=miss"))
+    print()
+    print(f"best:       {result['best']} ({result['best_pct']:.1f}%) "
+          f"(paper: ~20.35%)")
+    print(f"acceptable: {result['acceptable']} "
+          f"({result['acceptable_pct']:.1f}%) (paper: ~11.5%)")
+    print(f"suitable:   {result['suitable_pct']:.1f}% (paper: ~31.8%)")
+
+    assert result["total"] >= 20
+    # The decision should be suitable for a meaningful share of queries,
+    # and must not be perfect (estimates are sample-based by design).
+    assert result["suitable_pct"] >= 15.0
+    assert result["miss"] > 0

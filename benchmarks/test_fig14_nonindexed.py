@@ -1,0 +1,29 @@
+"""Fig 14 — the Listing-2 query: join on non-indexed columns.
+
+Paper shape: the NDP stack outperforms the BLK and NATIVE baselines for
+both the limited and the full projection, thanks to early selection and
+early projection feeding an on-device BNL join.
+"""
+
+from repro.bench.experiments import exp4_nonindexed_fig14
+from repro.bench.reporting import format_table, ms
+
+from benchmarks.conftest import run_once
+
+
+def test_fig14_nonindexed(benchmark, job_env_noindex):
+    results = run_once(benchmark,
+                       lambda: exp4_nonindexed_fig14(job_env_noindex))
+    rows = []
+    for label, times in results.items():
+        rows.append([label, ms(times["blk"]), ms(times["native"]),
+                     ms(times["ndp"]),
+                     f"{times['blk'] / times['ndp']:.2f}x"])
+    print()
+    print(format_table(
+        ["projection", "blk [ms]", "native [ms]", "ndp [ms]",
+         "ndp vs blk"],
+        rows, title="Fig 14 — non-indexed join (Listing 2)"))
+    for label, times in results.items():
+        assert times["ndp"] < times["blk"], label
+        assert times["ndp"] < times["native"], label

@@ -1,0 +1,33 @@
+"""Fig 15 — in-situ secondary-index processing.
+
+Paper shape: without indexes the on-device BNL join is the bottleneck;
+the BNLI join leverages in-situ indexes to outperform (limited
+projection) or compete with (full projection) the host engine.
+"""
+
+from repro.bench.experiments import exp5_insitu_index_fig15
+from repro.bench.reporting import format_table, ms
+
+from benchmarks.conftest import run_once
+
+
+def test_fig15_insitu_index(benchmark, job_env_exp5):
+    results = run_once(benchmark,
+                       lambda: exp5_insitu_index_fig15(job_env_exp5))
+    rows = []
+    for label, times in results.items():
+        rows.append([label, ms(times["host"]), ms(times["ndp_bnl"]),
+                     ms(times["ndp_bnli"])])
+    print()
+    print(format_table(
+        ["projection", "host [ms]", "NDP BNL [ms]", "NDP BNLI [ms]"],
+        rows, title="Fig 15 — in-situ index utilization"))
+    for label, times in results.items():
+        # BNLI must at least compete with the index-less BNL on device
+        # (at simulation scale the 4 KB block granularity does not
+        # shrink with the dataset, which blunts BNL's rescan penalty —
+        # see EXPERIMENTS.md).
+        assert times["ndp_bnli"] <= times["ndp_bnl"] * 1.35, label
+        # The headline claim: in-situ index processing keeps the device
+        # competitive with the host engine despite the CPU gap.
+        assert times["ndp_bnli"] <= times["host"] * 1.5, label

@@ -1,0 +1,33 @@
+"""Fig 16 — forcing every split position for JOB Q8c.
+
+Paper shape: nine strategies (block-only, H0..H6, NDP-only); early
+splits shift work to the host, late splits overload the device, H3 is
+the optimum.
+"""
+
+from repro.bench.experiments import exp6_split_sweep_fig16
+from repro.bench.reporting import format_table, ms
+
+from benchmarks.conftest import run_once
+
+
+def test_fig16_split_sweep(benchmark, job_env):
+    result = run_once(benchmark,
+                      lambda: exp6_split_sweep_fig16(job_env, "8c"))
+    times = result["times"]
+    print()
+    print(format_table(
+        ["strategy", "time [ms]"],
+        [[name, ms(value) if value is not None else "infeasible"]
+         for name, value in times.items()],
+        title=f"Fig 16 — Q{result['query']} split sweep"))
+
+    # Q8c has 7 tables -> block-only, H0..H6, ndp-only = 9 strategies.
+    assert len(times) == 9
+    hybrid_times = {k: v for k, v in times.items()
+                    if k.startswith("H") and v is not None}
+    best = min(hybrid_times, key=lambda k: hybrid_times[k])
+    best_index = int(best[1:])
+    assert 0 < best_index < 6, f"optimum should be interior, got {best}"
+    assert hybrid_times[best] < times["block-only"]
+    assert hybrid_times[best] < times["ndp-only"]

@@ -1,0 +1,41 @@
+"""Fig 17 — overlapping execution of JOB Q8d.
+
+Paper shape: after the NDP command, the host waits for the first
+intermediate results; once they arrive host and device work in
+parallel, with (nearly) no further host waiting at the optimal split.
+"""
+
+from repro.bench.experiments import exp6_timeline_fig17
+from repro.bench.reporting import format_table, ms
+
+from benchmarks.conftest import run_once
+
+
+def test_fig17_timeline(benchmark, job_env):
+    result = run_once(benchmark,
+                      lambda: exp6_timeline_fig17(job_env, "8d"))
+    rows = [[actor, kind, f"{start * 1e3:.3f}", f"{end * 1e3:.3f}", label]
+            for actor, kind, start, end, label in result["timeline"][:24]]
+    print()
+    print(format_table(
+        ["actor", "kind", "start [ms]", "end [ms]", "label"],
+        rows,
+        title=(f"Fig 17 — Q{result['query']} {result['split']} timeline "
+               f"(first 24 phases, total {ms(result['total_time'])} ms)")))
+    print(f"host wait initial: {ms(result['host_wait_initial'])} ms, "
+          f"subsequent: {ms(result['host_wait_other'])} ms, "
+          f"device stall: {ms(result['device_stall'])} ms")
+
+    assert result["host_wait_initial"] > 0
+    kinds = {(actor, kind) for actor, kind, *_ in result["timeline"]}
+    assert ("device", "compute") in kinds
+    assert ("host", "compute") in kinds
+    assert ("host", "transfer") in kinds
+    # Overlap: some device compute phase must start before the host's
+    # last compute phase begins.
+    host_compute = [p for p in result["timeline"]
+                    if p[0] == "host" and p[1] == "compute"]
+    device_compute = [p for p in result["timeline"]
+                      if p[0] == "device" and p[1] == "compute"]
+    if len(device_compute) > 1:
+        assert device_compute[-1][2] >= host_compute[0][2]

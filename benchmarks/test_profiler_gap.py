@@ -1,0 +1,30 @@
+"""§5 setup check — the CoreMark-style compute gap and profiler output.
+
+Paper: host 92343 it/s vs one COSMOS+ ARM core 2964 it/s (~31x), PCIe
+2.0 x8, device-internal flash faster than the external path.
+"""
+
+from repro.bench.experiments import profiler_compute_gap
+from repro.bench.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_profiler_gap(benchmark, job_env):
+    result = run_once(benchmark, lambda: profiler_compute_gap(job_env))
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["host eval rate [ops/s]", f"{result['host_rate']:.3e}"],
+         ["device eval rate [ops/s]", f"{result['device_rate']:.3e}"],
+         ["compute gap", f"{result['gap']:.1f}x (paper: ~31.2x)"],
+         ["PCIe bandwidth [GB/s]",
+          f"{result['pcie_bandwidth'] / 1e9:.2f}"],
+         ["internal page rate [pages/s]",
+          f"{result['internal_page_rate']:.0f}"],
+         ["external page rate [pages/s]",
+          f"{result['external_page_rate']:.0f}"]],
+        title="Hardware profiler (paper §3.1 / §5)"))
+    assert 25 <= result["gap"] <= 40
+    assert result["internal_page_rate"] > result["external_page_rate"]
+    assert 2.5e9 <= result["pcie_bandwidth"] <= 4.0e9

@@ -1,0 +1,30 @@
+"""Table 3 — correlation of intermediate results and execution times
+for JOB Q17b across the split positions."""
+
+from repro.bench.experiments import exp1_table3
+from repro.bench.reporting import format_table, ms
+
+from benchmarks.conftest import run_once
+
+
+def test_tab03_intermediates(benchmark, job_env):
+    result = run_once(benchmark, lambda: exp1_table3(job_env))
+    rows = []
+    for entry in result["rows"]:
+        if "error" in entry:
+            rows.append([entry["split"], "-", "-", "-", entry["error"]])
+            continue
+        rows.append([entry["split"], entry["intermediate_rows"],
+                     entry["batches"], ms(entry["time"]),
+                     ms(entry["host_wait"])])
+    print()
+    print(format_table(
+        ["split", "intermediate rows", "batches", "time [ms]",
+         "host wait [ms]"],
+        rows, title=f"Table 3 — Q{result['query']} intermediates vs time"))
+    valid = [e for e in result["rows"] if "error" not in e]
+    assert len(valid) >= 5
+    # Late splits push millions of intermediate comparisons on-device;
+    # the intermediate count must vary across splits.
+    counts = {e["intermediate_rows"] for e in valid}
+    assert len(counts) > 1

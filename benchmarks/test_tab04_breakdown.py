@@ -1,0 +1,38 @@
+"""Table 4 — host/device processing distribution for JOB Q8d at H2.
+
+Paper shape (left): NDP setup ~0%, initial wait ~22%, later waits and
+result transfer ~0%, processing ~78%.  (right): memcmp is the largest
+on-device component (45.6%), followed by internal-key compares.
+"""
+
+from repro.bench.experiments import exp6_table4
+from repro.bench.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_tab04_breakdown(benchmark, job_env):
+    result = run_once(benchmark,
+                      lambda: exp6_table4(job_env, "8d", split_index=2))
+    host_rows = [[stage, f"{share:.2f}%"]
+                 for stage, share in result["host_stages"].items()]
+    device_rows = [[op, f"{share:.2f}%"]
+                   for op, share in sorted(
+                       result["device_operations"].items(),
+                       key=lambda kv: -kv[1])]
+    print()
+    print(format_table(["host stage", "share"], host_rows,
+                       title=f"Table 4 (left) — Q{result['query']} "
+                             f"{result['split']} host distribution"))
+    print()
+    print(format_table(["device operation", "share"], device_rows,
+                       title="Table 4 (right) — device distribution"))
+
+    host = result["host_stages"]
+    # Setup is negligible; initial wait is a visible chunk; processing
+    # dominates the host side.
+    assert host["ndp_setup"] < 5.0
+    assert host["processing"] > host["wait_subsequent"]
+    device = result["device_operations"]
+    assert sum(device.values()) == 0 or (
+        abs(sum(device.values()) - 100.0) < 1e-6)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Visualize the cooperative execution timeline (paper Figs 7/17).
+
+Runs JOB Q8d at a hybrid split and renders an ASCII Gantt chart of the
+host and device lanes: NDP setup, device batch production, host waits,
+PCIe transfers, host processing, and device stalls when the shared
+buffer slots fill up.
+
+    python examples/cooperative_timeline.py [query] [split]
+"""
+
+import sys
+
+from repro import Stack, open_database
+from repro.workloads import query
+
+_GLYPH = {"setup": "S", "compute": "#", "transfer": "T", "wait": ".",
+          "stall": "x"}
+
+
+def render_lane(phases, total, width=100):
+    lane = [" "] * width
+    for phase in phases:
+        start = int(width * phase.start / total)
+        end = max(start + 1, int(width * phase.end / total))
+        for i in range(start, min(end, width)):
+            lane[i] = _GLYPH[phase.kind]
+    return "".join(lane)
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "8d"
+    split = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    env = open_database(scale=0.0004)
+    report = env.run(query(name), Stack.HYBRID, split_index=split)
+
+    total = report.total_time
+    print(f"JOB Q{name} at H{split}: {total * 1e3:.3f} ms simulated, "
+          f"{report.batches} result batches, "
+          f"{report.intermediate_rows} intermediate rows")
+    print(f"legend: S=setup  #=compute  T=transfer  .=wait  x=stall")
+    print()
+    for actor in ("device", "host"):
+        phases = [p for p in report.timeline if p.actor == actor]
+        print(f"{actor:>7} |{render_lane(phases, total)}|")
+    print()
+    shares = report.host_stage_shares()
+    print("host stage shares (Table 4 left):")
+    for stage, share in shares.items():
+        print(f"  {stage:<16} {share:6.2f}%")
+    print()
+    print("device operation shares (Table 4 right):")
+    for op, share in sorted(report.device_operation_shares().items(),
+                            key=lambda kv: -kv[1]):
+        print(f"  {op:<24} {share:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

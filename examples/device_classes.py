@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Consumer vs enterprise smart storage (paper §7 discussion).
+
+The paper argues the offloading balance depends on the device class:
+consumer COSMOS+-grade devices (~150-200 EUR/TB, weak compute) favour
+data-movement reduction, enterprise devices (~500-1000 EUR/TB, 16-24
+cores) can carry computationally intensive work.  This example runs the
+same Q8c split sweep on both profiles.
+
+    python examples/device_classes.py
+"""
+
+from repro import Stack
+from repro.storage.machines import enterprise_device
+from repro.workloads import query
+from repro.workloads.loader import build_environment
+
+
+def sweep(env, sql):
+    plan = env.runner.plan(sql)
+    times = {"host-only": env.run(plan, Stack.BLK).total_time}
+    for k in range(plan.table_count):
+        times[f"H{k}"] = env.run(plan, Stack.HYBRID,
+                                 split_index=k).total_time
+    times["full-ndp"] = env.run(plan, Stack.NDP).total_time
+    return times
+
+
+def main():
+    sql = query("8c")
+    print("building consumer (COSMOS+) environment...")
+    consumer = build_environment(scale=0.0004, seed=7)
+    print("building enterprise environment...")
+    enterprise = build_environment(scale=0.0004, seed=7,
+                                   device_spec=enterprise_device())
+
+    consumer_times = sweep(consumer, sql)
+    enterprise_times = sweep(enterprise, sql)
+
+    print()
+    print(f"{'strategy':<10} {'COSMOS+ [ms]':>14} {'enterprise [ms]':>16}")
+    for name in consumer_times:
+        c = consumer_times[name] * 1e3
+        e = enterprise_times[name] * 1e3
+        print(f"{name:<10} {c:>14.3f} {e:>16.3f}")
+
+    best_c = min((v, k) for k, v in consumer_times.items()
+                 if k.startswith("H") or k == "full-ndp")
+    best_e = min((v, k) for k, v in enterprise_times.items()
+                 if k.startswith("H") or k == "full-ndp")
+    print()
+    print(f"consumer best offload:   {best_c[1]} "
+          f"({consumer_times['host-only'] / best_c[0]:.2f}x vs host)")
+    print(f"enterprise best offload: {best_e[1]} "
+          f"({enterprise_times['host-only'] / best_e[0]:.2f}x vs host)")
+    print()
+    print("The stronger device tolerates later splits: its penalty for")
+    print("carrying joins shrinks, shifting the optimum to the right —")
+    print("exactly the §7 argument about device classes.")
+
+
+if __name__ == "__main__":
+    main()

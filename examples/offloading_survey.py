@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Mini Fig-12 survey: which JOB queries benefit from hybridNDP?
+
+Sweeps a sample of JOB query families over host-only, every hybrid
+split, and full NDP, then prints the paper-style green/yellow summary
+(paper: hybridNDP wins or ties in ~47% of queries, up to 4.2x).
+
+    python examples/offloading_survey.py [query names...]
+"""
+
+import sys
+
+from repro import open_database
+from repro.bench.experiments import classify_matrix, exp2_job_matrix_fig12
+from repro.bench.reporting import render_matrix_summary
+
+DEFAULT_SET = ["1a", "2d", "3b", "6b", "8c", "8d", "11a", "14a",
+               "17b", "17e", "21a", "32a"]
+
+
+def main():
+    names = sys.argv[1:] or DEFAULT_SET
+    env = open_database(scale=0.0004)
+    print(f"surveying {len(names)} queries: {', '.join(names)}")
+    print()
+    matrix = exp2_job_matrix_fig12(env, query_names=names)
+    for name, times in matrix.items():
+        host = times["host-only"]
+        candidates = {k: v for k, v in times.items()
+                      if v is not None and k != "host-only"}
+        best = min(candidates, key=lambda k: candidates[k])
+        print(f"  Q{name:<4} host={host * 1e3:9.3f} ms  "
+              f"best={best:<8} ({candidates[best] * 1e3:9.3f} ms, "
+              f"{host / candidates[best]:.2f}x)")
+    print()
+    print(render_matrix_summary(classify_matrix(matrix)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: load the synthetic JOB dataset, run one query everywhere.
+
+Builds the environment (synthetic IMDB over the nKV-style LSM store on
+a simulated COSMOS+ device), runs JOB Q1a on every stack, and shows the
+hybridNDP planner's automated offloading decision.
+
+    python examples/quickstart.py
+"""
+
+from repro import Stack, open_database
+from repro.workloads import query
+
+
+def main():
+    print("Building environment (synthetic JOB, tiny scale)...")
+    env = open_database(scale=0.0004)
+    print(f"  loaded {env.total_rows:,} rows "
+          f"({env.total_bytes / 1e6:.1f} MB) across 21 tables")
+    print(f"  device: {env.device.spec.name}, "
+          f"compute gap {env.hardware.compute_gap:.1f}x, "
+          f"PCIe {env.hardware.hw_ipv}.0 x{env.hardware.hw_ipl}")
+    print()
+
+    sql = query("1a")
+    plan = env.runner.plan(sql)
+    print("JOB Q1a plan:")
+    print(plan.describe())
+    print()
+
+    print(f"{'strategy':<12} {'time [ms]':>10}  result")
+    for stack, split in [(Stack.BLK, None), (Stack.NATIVE, None),
+                         (Stack.HYBRID, 1), (Stack.HYBRID, 2),
+                         (Stack.NDP, None)]:
+        report = env.run(plan, stack, split_index=split)
+        row = report.result.rows[0]
+        print(f"{report.strategy:<12} {report.total_time * 1e3:>10.3f}  "
+              f"{dict(list(row.items())[:2])}")
+    print()
+
+    decision = env.decide(plan)
+    print("hybridNDP decision:", decision.summary())
+    print(f"  preconditions: {decision.preconditions}")
+    print(f"  cumulative split costs (Fig 5 curve): "
+          f"{[round(c, 1) for c in decision.cumulative_costs]}")
+    print(f"  c_target = {decision.c_target:.1f} "
+          f"(split_cpu {decision.split_cpu:.2f}%, "
+          f"split_mem {decision.split_mem:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

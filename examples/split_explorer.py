@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Split-point exploration for a JOB query (paper Figs 5/6/16).
+
+Shows the cost model's cumulative split-cost curve against c_target,
+the planner's pick, and the *measured* simulated time of every split so
+the estimate can be judged against reality.
+
+    python examples/split_explorer.py [query-name]   (default: 8c)
+"""
+
+import sys
+
+from repro import Stack, open_database
+from repro.workloads import query
+
+
+def bar(value, maximum, width=42):
+    filled = int(width * value / maximum) if maximum else 0
+    return "#" * filled
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "8c"
+    env = open_database(scale=0.0004)
+    sql = query(name)
+    plan = env.runner.plan(sql)
+    decision = env.decide(plan)
+
+    print(f"JOB Q{name}: {plan.table_count} tables, "
+          f"{plan.join_count} joins")
+    print(f"join order: {' -> '.join(plan.aliases)}")
+    print()
+
+    curve = decision.cumulative_costs
+    if curve:
+        top = max(curve)
+        print("Fig 5 — cumulative device-side cost per split point:")
+        for k, cost in enumerate(curve):
+            marker = " <- closest to c_target" if (
+                decision.split_index == k) else ""
+            print(f"  H{k}: {cost:10.1f} |{bar(cost, top)}{marker}")
+        print(f"  c_target = {decision.c_target:.1f}")
+        print()
+
+    print("Fig 16 — measured simulated time per strategy:")
+    times = {"block-only": env.run(plan, Stack.BLK).total_time}
+    for k in range(plan.table_count):
+        try:
+            times[f"H{k}"] = env.run(plan, Stack.HYBRID,
+                                     split_index=k).total_time
+        except Exception as error:
+            print(f"  H{k}: infeasible ({error})")
+    try:
+        times["ndp-only"] = env.run(plan, Stack.NDP).total_time
+    except Exception as error:
+        print(f"  ndp-only: infeasible ({error})")
+
+    top = max(times.values())
+    best = min(times, key=lambda k: times[k])
+    for label, value in times.items():
+        marker = " <- fastest" if label == best else ""
+        print(f"  {label:>10}: {value * 1e3:9.3f} ms "
+              f"|{bar(value, top)}{marker}")
+    print()
+    print(f"planner chose: {decision.strategy_name} ({decision.reason})")
+    print(f"empirical best: {best}")
+
+
+if __name__ == "__main__":
+    main()

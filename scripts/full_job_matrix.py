@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Run the complete 113-query Fig-12/Fig-13 sweep and record the results.
+
+    python scripts/full_job_matrix.py [scale] [output.json]
+
+Sweeps host-only, every hybrid split and full NDP for every JOB query,
+classifies the matrix (Fig 12) and the planner decisions (Fig 13), and
+writes everything to JSON.  Expect a long run: the heavy families
+(18, 25, 28-31) have explosive intermediate results by design.
+"""
+
+import json
+import sys
+import time
+
+from repro.bench.experiments import (classify_matrix,
+                                     exp2_job_matrix_fig12,
+                                     exp3_decisions_fig13)
+from repro.bench.reporting import render_family_grid, render_matrix_summary
+from repro.workloads.job_queries import all_queries
+from repro.workloads.loader import build_environment
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.0002
+    output = sys.argv[2] if len(sys.argv) > 2 else "full_job_matrix.json"
+
+    start = time.time()
+    env = build_environment(scale=scale, seed=7)
+    print(f"environment: scale={scale}, {env.total_rows:,} rows "
+          f"({time.time() - start:.0f}s)", flush=True)
+
+    matrix = {}
+    names = sorted(all_queries())
+    for i, name in enumerate(names):
+        t0 = time.time()
+        matrix.update(exp2_job_matrix_fig12(env, query_names=[name]))
+        host = matrix[name].get("host-only")
+        print(f"[{i + 1}/{len(names)}] {name}: "
+              f"host={host * 1e3 if host else -1:.1f} ms "
+              f"({time.time() - t0:.0f}s)", flush=True)
+
+    summary = classify_matrix(matrix)
+    decisions = exp3_decisions_fig13(env, matrix)
+    with open(output, "w") as handle:
+        json.dump({"scale": scale, "matrix": matrix, "summary": summary,
+                   "decisions": {k: v for k, v in decisions.items()
+                                 if k != "per_query"},
+                   "decision_outcomes": decisions["per_query"]},
+                  handle, indent=1)
+
+    print()
+    print(render_family_grid(summary["per_query"],
+                             legend="g=green y=yellow r=red"))
+    print()
+    print(render_matrix_summary(summary))
+    print()
+    print(render_family_grid(decisions["per_query"],
+                             legend="b=best a=acceptable m=miss"))
+    print(f"decision quality: best {decisions['best_pct']:.1f}% "
+          f"(paper ~20.35%), acceptable {decisions['acceptable_pct']:.1f}% "
+          f"(paper ~11.5%), suitable {decisions['suitable_pct']:.1f}% "
+          f"(paper ~31.8%)")
+    print(f"total {time.time() - start:.0f}s; results in {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — a full Python reproduction of hybridNDP (EDBT 2025).
+
+hybridNDP automates operation-offloading decisions for near-data
+processing DBMS: it splits a query execution plan into an on-device and a
+host partial plan using a cost model over an abstract hardware model, and
+executes the two parts cooperatively with overlapping progress.
+
+Quickstart::
+
+    from repro import open_database, Stack
+
+    env = open_database()                   # synthetic JOB, tiny scale
+    report = env.runner.run("SELECT ...", Stack.HYBRID, split_index=2)
+    print(report.summary())
+
+See README.md, DESIGN.md and EXPERIMENTS.md for the full tour.
+"""
+
+from repro.core import (CostModel, ExecutionStrategy, HardwareModel,
+                        HybridDecision, HybridPlanner, SplitPlanner)
+from repro.engine import (CooperativeExecutor, ExecutionReport, HostEngine,
+                          NDPEngine, QueryResult, Stack, StackRunner,
+                          TimingModel)
+from repro.errors import ReproError
+from repro.lsm import KVDatabase, LSMTree
+from repro.relational import Catalog, TableSchema
+from repro.storage import (COSMOS_PLUS, HOST_I5, FlashDevice,
+                           HardwareProfiler, PCIeLink, SmartStorageDevice)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # core
+    "HardwareModel",
+    "CostModel",
+    "SplitPlanner",
+    "HybridPlanner",
+    "HybridDecision",
+    "ExecutionStrategy",
+    # engine
+    "Stack",
+    "StackRunner",
+    "HostEngine",
+    "NDPEngine",
+    "CooperativeExecutor",
+    "TimingModel",
+    "ExecutionReport",
+    "QueryResult",
+    # substrates
+    "KVDatabase",
+    "LSMTree",
+    "Catalog",
+    "TableSchema",
+    "FlashDevice",
+    "SmartStorageDevice",
+    "PCIeLink",
+    "HardwareProfiler",
+    "COSMOS_PLUS",
+    "HOST_I5",
+    "open_database",
+]
+
+
+def open_database(scale=0.0005, seed=7, secondary_indexes=True):
+    """Create a ready-to-query environment with synthetic JOB data.
+
+    Returns a :class:`repro.workloads.loader.Environment` bundling the
+    KV database, catalog, smart-storage device, hybrid planner and a
+    :class:`StackRunner`.
+    """
+    from repro.workloads.loader import build_environment
+    return build_environment(scale=scale, seed=seed,
+                             secondary_indexes=secondary_indexes)

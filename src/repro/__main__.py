@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+    python -m repro info                      # environment summary
+    python -m repro run 8c --stack hybrid --split 3
+    python -m repro decide 17b                # the planner's choice
+    python -m repro sweep 8c                  # Fig-16-style split sweep
+    python -m repro experiment fig11          # a paper experiment
+    python -m repro list-queries              # the JOB suite
+
+All commands build the synthetic JOB environment (seeded, deterministic)
+at the --scale given (default 0.0004).
+"""
+
+import argparse
+import sys
+
+from repro.bench import experiments as exp
+from repro.bench.reporting import format_table, ms, render_matrix_summary
+from repro.engine.stacks import Stack
+from repro.workloads.job_queries import all_queries, query
+from repro.workloads.loader import build_environment
+
+_STACKS = {"blk": Stack.BLK, "native": Stack.NATIVE, "ndp": Stack.NDP,
+           "hybrid": Stack.HYBRID}
+
+_EXPERIMENTS = {
+    "fig2": lambda env: exp.exp_intro_fig2(env),
+    "fig11": lambda env: exp.exp1_stacks_fig11(env),
+    "tab3": lambda env: exp.exp1_table3(env),
+    "fig16": lambda env: exp.exp6_split_sweep_fig16(env),
+    "fig17": lambda env: exp.exp6_timeline_fig17(env),
+    "tab4": lambda env: exp.exp6_table4(env),
+    "profiler": lambda env: exp.profiler_compute_gap(env),
+}
+
+
+def _build_env(args):
+    print(f"building environment (scale={args.scale}, seed={args.seed})...",
+          file=sys.stderr)
+    return build_environment(scale=args.scale, seed=args.seed)
+
+
+def cmd_info(args):
+    env = _build_env(args)
+    rows = [
+        ["rows loaded", f"{env.total_rows:,}"],
+        ["data bytes", f"{env.total_bytes:,}"],
+        ["buffer scale", f"{env.buffer_scale:.2e}"],
+        ["device", env.device.spec.name],
+        ["compute gap", f"{env.hardware.compute_gap:.1f}x"],
+        ["PCIe", f"{env.hardware.hw_ipv}.0 x{env.hardware.hw_ipl}"],
+        ["device buffer budget",
+         f"{env.device.buffer_budget / 2**20:.0f} MB"],
+        ["max tables (w/ sec idx)", env.device.max_tables(True)],
+        ["max tables (w/o sec idx)", env.device.max_tables(False)],
+    ]
+    print(format_table(["property", "value"], rows,
+                       title="hybridNDP reproduction environment"))
+    return 0
+
+
+def cmd_run(args):
+    env = _build_env(args)
+    stack = _STACKS[args.stack]
+    report = env.run(query(args.query), stack, split_index=args.split)
+    print(report.summary())
+    for row in report.result.rows[:10]:
+        print(" ", row)
+    return 0
+
+
+def cmd_decide(args):
+    env = _build_env(args)
+    decision = env.decide(query(args.query))
+    print(decision.summary())
+    print(f"preconditions: {decision.preconditions}")
+    if decision.cumulative_costs:
+        print(f"cumulative costs: "
+              f"{[round(c, 1) for c in decision.cumulative_costs]}")
+    print(f"estimates: { {k: round(v, 1) for k, v in decision.estimated_costs.items()} }")
+    return 0
+
+
+def cmd_sweep(args):
+    env = _build_env(args)
+    result = exp.exp6_split_sweep_fig16(env, args.query)
+    rows = [[name, ms(value) if value is not None else "infeasible"]
+            for name, value in result["times"].items()]
+    print(format_table(["strategy", "time [ms]"], rows,
+                       title=f"Q{args.query} split sweep"))
+    return 0
+
+
+def cmd_experiment(args):
+    env = _build_env(args)
+    result = _EXPERIMENTS[args.name](env)
+    import json
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def cmd_survey(args):
+    env = _build_env(args)
+    names = args.queries or ["1a", "2d", "6b", "8c", "17b", "32a"]
+    matrix = exp.exp2_job_matrix_fig12(env, query_names=names)
+    print(render_matrix_summary(exp.classify_matrix(matrix)))
+    return 0
+
+
+def cmd_list_queries(_args):
+    queries = all_queries()
+    print(f"{len(queries)} JOB queries:")
+    print(", ".join(sorted(queries)))
+    return 0
+
+
+def build_parser():
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="hybridNDP reproduction CLI")
+    parser.add_argument("--scale", type=float, default=0.0004,
+                        help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=7)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info").set_defaults(func=cmd_info)
+
+    run = sub.add_parser("run")
+    run.add_argument("query")
+    run.add_argument("--stack", choices=sorted(_STACKS), default="native")
+    run.add_argument("--split", type=int, default=None)
+    run.set_defaults(func=cmd_run)
+
+    decide = sub.add_parser("decide")
+    decide.add_argument("query")
+    decide.set_defaults(func=cmd_decide)
+
+    sweep = sub.add_parser("sweep")
+    sweep.add_argument("query")
+    sweep.set_defaults(func=cmd_sweep)
+
+    experiment = sub.add_parser("experiment")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.set_defaults(func=cmd_experiment)
+
+    survey = sub.add_parser("survey")
+    survey.add_argument("queries", nargs="*")
+    survey.set_defaults(func=cmd_survey)
+
+    sub.add_parser("list-queries").set_defaults(func=cmd_list_queries)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

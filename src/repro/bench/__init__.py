@@ -1,0 +1,39 @@
+"""Benchmark harness: one experiment per paper figure/table.
+
+Each ``exp*`` function reproduces a concrete artifact of the paper's
+evaluation (§5) and returns plain data structures; ``reporting`` renders
+them as the paper-style tables the benchmarks print.
+"""
+
+from repro.bench.experiments import (
+    classify_matrix,
+    exp_intro_fig2,
+    exp1_stacks_fig11,
+    exp1_table3,
+    exp2_job_matrix_fig12,
+    exp3_decisions_fig13,
+    exp4_nonindexed_fig14,
+    exp5_insitu_index_fig15,
+    exp6_split_sweep_fig16,
+    exp6_timeline_fig17,
+    exp6_table4,
+    profiler_compute_gap,
+)
+from repro.bench.reporting import format_table, render_matrix_summary
+
+__all__ = [
+    "exp_intro_fig2",
+    "exp1_stacks_fig11",
+    "exp1_table3",
+    "exp2_job_matrix_fig12",
+    "exp3_decisions_fig13",
+    "exp4_nonindexed_fig14",
+    "exp5_insitu_index_fig15",
+    "exp6_split_sweep_fig16",
+    "exp6_timeline_fig17",
+    "exp6_table4",
+    "profiler_compute_gap",
+    "classify_matrix",
+    "format_table",
+    "render_matrix_summary",
+]

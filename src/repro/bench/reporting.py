@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment results."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[("" if cell is None else str(cell)) for cell in row]
+                 for row in rows]
+    widths = [len(h) for h in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ms(seconds):
+    """Format simulated seconds as milliseconds."""
+    return f"{seconds * 1e3:.3f}"
+
+
+def render_family_grid(per_query, legend=None):
+    """Render the Fig-12/13 grid: 33 family columns, variant rows.
+
+    ``per_query`` maps query names like ``'8c'`` to a class string;
+    the first letter of the class is printed in the cell (``g``reen,
+    ``y``ellow, ``r``ed / ``b``est, ``a``cceptable, ``m``iss).
+    """
+    families = {}
+    for name, outcome in per_query.items():
+        number = int("".join(ch for ch in name if ch.isdigit()))
+        letter = "".join(ch for ch in name if ch.isalpha())
+        families.setdefault(number, {})[letter] = outcome
+    if not families:
+        return "(empty grid)"
+    numbers = sorted(families)
+    variants = sorted({letter for cells in families.values()
+                       for letter in cells})
+    lines = []
+    header = "    " + " ".join(f"{n:>2}" for n in numbers)
+    lines.append(header)
+    for letter in variants:
+        cells = []
+        for number in numbers:
+            outcome = families[number].get(letter)
+            cells.append(f" {outcome[0]}" if outcome else "  ")
+        lines.append(f"  {letter} " + " ".join(cells))
+    if legend:
+        lines.append(f"  legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_matrix_summary(summary):
+    """Render the Fig-12-style aggregate summary."""
+    lines = [
+        f"queries evaluated:        {summary['total']}",
+        f"hybrid better (green):    {summary['green']} "
+        f"({summary['green_pct']:.1f}%)",
+        f"hybrid on par (yellow):   {summary['yellow']} "
+        f"({summary['yellow_pct']:.1f}%)",
+        f"host-only better:         {summary['red']} "
+        f"({summary['red_pct']:.1f}%)",
+        f"green+yellow:             {summary['green_yellow_pct']:.1f}% "
+        f"(paper: ~47%)",
+        f"full-NDP best:            {summary['full_ndp_best_pct']:.1f}% "
+        f"(paper: ~1.7%)",
+        f"leaf-only (H0) best:      {summary['h0_best_pct']:.1f}% "
+        f"(paper: ~7%)",
+        f"max speedup over host:    {summary['max_speedup']:.2f}x "
+        f"(paper: up to 4.2x)",
+    ]
+    return "\n".join(lines)

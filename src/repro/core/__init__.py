@@ -1,0 +1,25 @@
+"""hybridNDP core: hardware model, cost model, QEP splitting, planning.
+
+This package implements the paper's primary contribution (§3): an
+abstract hardware model filled in by the §3.1 profiler, the cost model of
+eqs. (1)-(8), the split-point calculation of eqs. (9)-(12), and the
+hybrid planner that decides host-only / full-NDP / Hk for a query.
+"""
+
+from repro.core.hardware import HardwareModel
+from repro.core.cost_model import CostModel, NodeCost, PlanCost
+from repro.core.splitter import SplitChoice, SplitPlanner
+from repro.core.strategy import ExecutionStrategy, HybridDecision
+from repro.core.planner import HybridPlanner
+
+__all__ = [
+    "HardwareModel",
+    "CostModel",
+    "NodeCost",
+    "PlanCost",
+    "SplitPlanner",
+    "SplitChoice",
+    "ExecutionStrategy",
+    "HybridDecision",
+    "HybridPlanner",
+]

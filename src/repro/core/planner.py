@@ -1,0 +1,123 @@
+"""The hybrid planner: decide host-only / full-NDP / Hk for a query.
+
+Ties together the baseline optimizer, the cost model, the splitter and
+the device's buffer policy.  The decision flow follows §3: check the
+offloading preconditions, compare total host and device QEP costs,
+compute the split target, and estimate the hybrid cost as the parallel
+composition of the two fragments (the cooperative model overlaps them).
+"""
+
+from repro.core.cost_model import CostModel
+from repro.core.splitter import SplitPlanner
+from repro.core.strategy import ExecutionStrategy, HybridDecision
+from repro.query.optimizer import build_plan
+
+
+class HybridPlanner:
+    """Produces a :class:`HybridDecision` for a query."""
+
+    def __init__(self, catalog, device, hardware, cost_model=None,
+                 split_planner=None):
+        self.catalog = catalog
+        self.device = device
+        self.hardware = hardware
+        self.cost_model = cost_model or CostModel(hardware)
+        self.splitter = split_planner or SplitPlanner(hardware,
+                                                      self.cost_model)
+
+    def plan(self, sql):
+        """Baseline physical plan for SQL text."""
+        return build_plan(sql, self.catalog)
+
+    def decide(self, query):
+        """Make the offloading decision for SQL text or a QueryPlan."""
+        plan = self.plan(query) if isinstance(query, str) else query
+        host_cost = self.cost_model.plan_cost(plan, on_device=False)
+        device_cost = self.cost_model.plan_cost(plan, on_device=True)
+        c_total_host = host_cost.c_total
+        c_total_device = device_cost.c_total
+
+        preconditions = self.splitter.check_preconditions(plan, self.device)
+        if not all(preconditions.values()):
+            failed = sorted(name for name, ok in preconditions.items()
+                            if not ok)
+            return HybridDecision(
+                strategy=ExecutionStrategy.HOST_ONLY,
+                c_total_host=c_total_host,
+                c_total_device=c_total_device,
+                preconditions=preconditions,
+                estimated_costs={"host-only": c_total_host},
+                reason=f"preconditions failed: {', '.join(failed)}",
+            )
+
+        choice = self.splitter.choose_split(plan)
+        split_index = self._fit_to_device(plan, choice.split_index)
+
+        estimates = {
+            "host-only": c_total_host,
+            "full-ndp": c_total_device,
+        }
+        hybrid_estimate = self._hybrid_cost(plan, device_cost, host_cost,
+                                            split_index)
+        estimates[f"H{split_index}"] = hybrid_estimate
+
+        winner = min(estimates, key=lambda name: estimates[name])
+        if winner == "host-only":
+            strategy = ExecutionStrategy.HOST_ONLY
+            index = None
+            reason = "host plan cheapest"
+        elif winner == "full-ndp":
+            strategy = ExecutionStrategy.FULL_NDP
+            index = plan.table_count - 1
+            reason = "device plan cheapest"
+        else:
+            strategy = ExecutionStrategy.HYBRID
+            index = split_index
+            reason = (f"split closest to c_target "
+                      f"(distance {choice.distance:.1f})")
+
+        return HybridDecision(
+            strategy=strategy,
+            split_index=index,
+            c_total_host=c_total_host,
+            c_total_device=c_total_device,
+            c_target=choice.c_target,
+            split_cpu=choice.split_cpu,
+            split_mem=choice.split_mem,
+            cumulative_costs=choice.cumulative_costs,
+            estimated_costs=estimates,
+            preconditions=preconditions,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fit_to_device(self, plan, split_index):
+        """Shrink the split until the NDP fragment fits device buffers."""
+        while split_index > 0:
+            fragment = plan.prefix(split_index)
+            selections = len(fragment)
+            secondary = sum(1 for entry in fragment
+                            if entry.uses_secondary_index)
+            joins = sum(1 for entry in fragment
+                        if entry.join_algorithm is not None)
+            if self.device.can_host_pipeline(selections, secondary, joins):
+                return split_index
+            split_index -= 1
+        return split_index
+
+    def _hybrid_cost(self, plan, device_cost, host_cost, split_index):
+        """Estimated cost of Hk: fragments overlap, transfers accrue.
+
+        The device carries the cumulative device-placement cost up to the
+        split; the host carries its own placement cost for the remaining
+        tables plus the intermediate-result transfer.  Cooperative
+        execution overlaps the two, so the estimate is the maximum of the
+        fragment costs plus the non-overlappable intermediate transfer.
+        """
+        device_part = device_cost.nodes[split_index].c_node
+        host_part = host_cost.c_total - host_cost.nodes[split_index].c_node
+        split_node = device_cost.nodes[split_index]
+        transfer = split_node.c_trans
+        return max(device_part, host_part) + transfer

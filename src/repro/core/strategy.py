@@ -1,0 +1,42 @@
+"""Execution strategies and the planner's decision record."""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ExecutionStrategy(enum.Enum):
+    """What the hybrid planner decided to do with a query."""
+
+    HOST_ONLY = "host-only"
+    FULL_NDP = "full-ndp"
+    HYBRID = "hybrid"
+
+
+@dataclass
+class HybridDecision:
+    """The outcome of hybrid planning for one query."""
+
+    strategy: ExecutionStrategy
+    split_index: int = None              # the k of Hk for HYBRID
+    c_total_host: float = 0.0
+    c_total_device: float = 0.0
+    c_target: float = 0.0
+    split_cpu: float = 0.0               # eq. (9), percent
+    split_mem: float = 0.0               # eq. (11), percent
+    cumulative_costs: list = field(default_factory=list)   # Fig-5 curve
+    estimated_costs: dict = field(default_factory=dict)    # strategy -> cost
+    preconditions: dict = field(default_factory=dict)
+    reason: str = ""
+
+    @property
+    def strategy_name(self):
+        """'host-only' / 'full-ndp' / 'H<k>'."""
+        if self.strategy is ExecutionStrategy.HYBRID:
+            return f"H{self.split_index}"
+        return self.strategy.value
+
+    def summary(self):
+        """One-line description of the decision."""
+        return (f"{self.strategy_name}: c_host={self.c_total_host:.1f} "
+                f"c_dev={self.c_total_device:.1f} "
+                f"c_target={self.c_target:.1f} ({self.reason})")

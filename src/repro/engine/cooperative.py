@@ -1,0 +1,258 @@
+"""Cooperative (overlapping) host/device execution (paper §4, Fig 7).
+
+For a split point Hk the device runs the pipeline prefix (tables 0..k and
+their k joins) and streams intermediate-result batches through a bounded
+set of shared buffer slots; the host fetches each batch over PCIe and
+joins it with the remaining tables while the device autonomously produces
+the next batch.  The device stalls when all slots are full; the host
+waits when no batch is ready — both are accounted, reproducing the
+Fig 17 timeline and the Table 4 stage breakdown.
+"""
+
+import math
+
+from repro.engine.counters import WorkCounters
+from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
+from repro.engine.timing import ExecutionLocation
+from repro.errors import PlanError
+from repro.query.ast import conjuncts
+
+
+class CooperativeExecutor:
+    """Runs hybrid splits and full-NDP executions."""
+
+    def __init__(self, host_engine, ndp_engine, timing_model):
+        self.host = host_engine
+        self.ndp = ndp_engine
+        self.timing = timing_model
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _slot_bytes(self):
+        device = self.ndp.device
+        return max(1024, int(device.spec.shared_buffer_slot_bytes
+                             * self.ndp.config.buffer_scale))
+
+    def _split_residual(self, plan, device_aliases):
+        device_side = []
+        host_side = []
+        for conjunct in conjuncts(plan.residual):
+            if conjunct.aliases() <= set(device_aliases):
+                device_side.append(conjunct)
+            else:
+                host_side.append(conjunct)
+        return device_side, host_side
+
+    # ------------------------------------------------------------------
+    # Hybrid split execution
+    # ------------------------------------------------------------------
+    def run_split(self, plan, split_index):
+        """Execute the plan with split point ``H{split_index}``."""
+        if not 0 <= split_index < plan.table_count:
+            raise PlanError(
+                f"split index {split_index} out of range for "
+                f"{plan.table_count} tables")
+        device_entries = plan.prefix(split_index)
+        host_entries = plan.suffix(split_index)
+        device_aliases = [entry.alias for entry in device_entries]
+        device_residual, host_residual = self._split_residual(
+            plan, device_aliases)
+
+        # --- device fragment -----------------------------------------
+        command = self.ndp.prepare_command(plan, device_entries,
+                                           device_residual)
+        execution = self.ndp.execute(command)
+        try:
+            device_time, device_breakdown = self.timing.charge(
+                execution.counters, ExecutionLocation.DEVICE)
+            setup_time = self.timing.command_setup_time(command.payload_bytes)
+
+            # --- batching over shared buffer slots --------------------
+            slot_bytes = self._slot_bytes()
+            row_bytes = max(1, execution.row_bytes)
+            batch_rows = max(1, slot_bytes // row_bytes)
+            rows = execution.rows
+            n_batches = max(1, math.ceil(len(rows) / batch_rows))
+            slots = self.ndp.device.spec.shared_buffer_slots
+            per_batch_device = device_time / n_batches
+
+            timeline = []
+            timeline.append(TimelinePhase("host", "setup", 0.0, setup_time,
+                                          "NDP command"))
+
+            # --- simulate producer/consumer ---------------------------
+            host_counters = WorkCounters()
+            session = None
+            if host_entries or host_residual:
+                session = self.host.fragment_session(
+                    plan, host_entries, device_aliases, host_counters,
+                    residual_conjuncts=host_residual)
+            joined_rows = []
+            fetch_complete = [0.0] * n_batches
+            device_clock = setup_time
+            device_stall = 0.0
+            host_clock = setup_time
+            host_wait_initial = 0.0
+            host_wait_other = 0.0
+            transfer_total = 0.0
+            host_processing = 0.0
+            ready = [0.0] * n_batches
+
+            for i in range(n_batches):
+                batch = rows[i * batch_rows:(i + 1) * batch_rows]
+                # Device side: wait for a free slot if `slots` ahead.
+                if i >= slots:
+                    free_at = fetch_complete[i - slots]
+                    if free_at > device_clock:
+                        timeline.append(TimelinePhase(
+                            "device", "stall", device_clock, free_at,
+                            f"slots full before batch {i}"))
+                        device_stall += free_at - device_clock
+                        device_clock = free_at
+                produce_start = device_clock
+                device_clock += per_batch_device
+                ready[i] = device_clock
+                timeline.append(TimelinePhase(
+                    "device", "compute", produce_start, device_clock,
+                    f"batch {i} ({len(batch)} rows)"))
+
+                # Host side: wait for the batch, fetch it, process it.
+                if ready[i] > host_clock:
+                    wait = ready[i] - host_clock
+                    if i == 0:
+                        host_wait_initial += wait
+                    else:
+                        host_wait_other += wait
+                    timeline.append(TimelinePhase(
+                        "host", "wait", host_clock, ready[i],
+                        f"waiting for batch {i}"))
+                    host_clock = ready[i]
+                batch_bytes = max(len(batch) * row_bytes, 64)
+                transfer = self.timing.transfer_time(batch_bytes)
+                transfer_total += transfer
+                fetch_complete[i] = host_clock + transfer
+                timeline.append(TimelinePhase(
+                    "host", "transfer", host_clock, fetch_complete[i],
+                    f"fetch batch {i}"))
+                host_clock = fetch_complete[i]
+
+                before = host_counters.copy()
+                if session is not None:
+                    fragment_rows, _fragment_bytes = session.process_batch(
+                        batch, row_bytes)
+                else:
+                    fragment_rows = batch
+                joined_rows.extend(fragment_rows)
+                delta = host_counters.copy()
+                for name, value in before.as_dict().items():
+                    setattr(delta, name, getattr(delta, name) - value)
+                batch_time, _ = self.timing.charge(
+                    delta, ExecutionLocation.HOST)
+                host_processing += batch_time
+                timeline.append(TimelinePhase(
+                    "host", "compute", host_clock, host_clock + batch_time,
+                    f"process batch {i}"))
+                host_clock += batch_time
+
+            # --- epilogue: aggregation/projection on the host ----------
+            before = host_counters.copy()
+            result = self.host.finalize_fragment(plan, joined_rows,
+                                                 host_counters)
+            delta = host_counters.copy()
+            for name, value in before.as_dict().items():
+                setattr(delta, name, getattr(delta, name) - value)
+            final_time, host_breakdown = self.timing.charge(
+                host_counters, ExecutionLocation.HOST)
+            epilogue, _ = self.timing.charge(delta, ExecutionLocation.HOST)
+            del final_time
+            timeline.append(TimelinePhase(
+                "host", "compute", host_clock, host_clock + epilogue,
+                "finalize"))
+            host_clock += epilogue
+            host_processing += epilogue
+
+            total = max(host_clock, device_clock)
+            return ExecutionReport(
+                strategy=f"H{split_index}",
+                total_time=total,
+                result=result,
+                split_index=split_index,
+                host_counters=host_counters,
+                device_counters=execution.counters,
+                host_breakdown=host_breakdown,
+                device_breakdown=device_breakdown,
+                setup_time=setup_time,
+                host_wait_initial=host_wait_initial,
+                host_wait_other=host_wait_other,
+                transfer_time=transfer_total,
+                host_processing_time=host_processing,
+                device_busy_time=device_time,
+                device_stall_time=device_stall,
+                batches=n_batches,
+                intermediate_rows=len(rows),
+                intermediate_bytes=len(rows) * row_bytes,
+                timeline=timeline,
+                notes={"pointer_cache": execution.pointer_cache,
+                       "device_aliases": device_aliases,
+                       "device_stage_rows": execution.stage_trace},
+            )
+        finally:
+            self.ndp.release(execution)
+
+    # ------------------------------------------------------------------
+    # Full NDP execution
+    # ------------------------------------------------------------------
+    def run_full_ndp(self, plan):
+        """Execute the whole QEP on the device (aggregation included)."""
+        device_entries = plan.entries
+        device_residual = conjuncts(plan.residual)
+        command = self.ndp.prepare_command(
+            plan, device_entries, device_residual, aggregates_on_device=True)
+        execution = self.ndp.execute(command)
+        try:
+            device_time, device_breakdown = self.timing.charge(
+                execution.counters, ExecutionLocation.DEVICE)
+            setup_time = self.timing.command_setup_time(command.payload_bytes)
+            result = execution.result
+            if result is None:
+                result = QueryResult(execution.rows, [])
+            if execution.result is not None:
+                # Aggregated on device: a handful of scalar rows.
+                result_bytes = max(64, len(result.rows) * 64)
+            else:
+                result_bytes = max(
+                    64, len(result.rows) * max(1, execution.row_bytes))
+            slot_bytes = self._slot_bytes()
+            commands = max(1, math.ceil(result_bytes / max(1, slot_bytes)))
+            transfer = self.timing.transfer_time(result_bytes,
+                                                 commands=commands)
+            total = setup_time + device_time + transfer
+            timeline = [
+                TimelinePhase("host", "setup", 0.0, setup_time, "NDP command"),
+                TimelinePhase("device", "compute", setup_time,
+                              setup_time + device_time, "full QEP"),
+                TimelinePhase("host", "wait", setup_time,
+                              setup_time + device_time, "full NDP wait"),
+                TimelinePhase("host", "transfer", setup_time + device_time,
+                              total, "result fetch"),
+            ]
+            return ExecutionReport(
+                strategy="full-ndp",
+                total_time=total,
+                result=result,
+                split_index=plan.table_count - 1,
+                device_counters=execution.counters,
+                device_breakdown=device_breakdown,
+                setup_time=setup_time,
+                host_wait_initial=device_time,
+                transfer_time=transfer,
+                device_busy_time=device_time,
+                batches=1,
+                intermediate_rows=len(execution.rows),
+                intermediate_bytes=len(execution.rows) * execution.row_bytes,
+                timeline=timeline,
+                notes={"pointer_cache": execution.pointer_cache},
+            )
+        finally:
+            self.ndp.release(execution)

@@ -1,0 +1,114 @@
+"""The host execution engine.
+
+Runs complete plans (the BLK / NATIVE baselines) or the host-side
+fragment of a hybrid split.  All I/O crosses the interconnect: the host
+pays the external flash path for every byte it reads, which is exactly
+the data movement NDP removes.
+"""
+
+from dataclasses import dataclass
+
+from repro.engine.counters import WorkCounters
+from repro.engine.pipeline import PipelineConfig, PipelineExecutor, finalize
+from repro.engine.results import ExecutionReport, QueryResult
+from repro.engine.timing import ExecutionLocation, TimingModel
+from repro.query.ast import conjuncts
+
+
+@dataclass
+class HostEngineConfig:
+    """Host-side execution knobs."""
+
+    join_buffer_bytes: int = 32 * 1024 * 1024
+    block_cache_bytes: int = 512 * 1024 * 1024   # page cache share
+    max_rows: int = None
+
+
+class HostEngine:
+    """Executes plans (or plan fragments) on the host CPU."""
+
+    def __init__(self, catalog, timing_model, config=None):
+        self.catalog = catalog
+        self.timing = timing_model
+        self.config = config or HostEngineConfig()
+
+    def _pipeline_config(self):
+        return PipelineConfig(
+            join_buffer_bytes=self.config.join_buffer_bytes,
+            pointer_cache=False,
+            max_rows=self.config.max_rows,
+            block_cache_bytes=self.config.block_cache_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Full-plan execution (BLK / NATIVE baselines)
+    # ------------------------------------------------------------------
+    def execute(self, plan, strategy="host-only"):
+        """Run the whole plan on the host; returns an ExecutionReport."""
+        counters = WorkCounters()
+        executor = PipelineExecutor(self.catalog, self._pipeline_config(),
+                                    counters)
+        residual = conjuncts(plan.residual)
+        rows, _row_bytes = executor.run(plan.entries, plan.spec.tables,
+                                        residual_conjuncts=residual)
+        result_rows, columns = finalize(rows, plan.select_items,
+                                        plan.group_by, counters,
+                                        limit=plan.limit)
+        seconds, breakdown = self.timing.charge(counters,
+                                                ExecutionLocation.HOST)
+        return ExecutionReport(
+            strategy=strategy,
+            total_time=seconds,
+            result=QueryResult(result_rows, columns),
+            host_counters=counters,
+            host_breakdown=breakdown,
+            host_processing_time=seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Fragment execution (hybrid host side)
+    # ------------------------------------------------------------------
+    def fragment_session(self, plan, entries, input_aliases, counters,
+                         residual_conjuncts=None):
+        """A stateful session for the host side of a hybrid split.
+
+        The session keeps one pipeline executor — and therefore one warm
+        block cache — across all device-result batches, as a real engine
+        would.  ``counters`` accumulates host work across batches.
+        """
+        residual = (conjuncts(plan.residual) if residual_conjuncts is None
+                    else list(residual_conjuncts))
+        return _FragmentSession(self, plan, entries, list(input_aliases),
+                                counters, residual)
+
+    def finalize_fragment(self, plan, rows, counters):
+        """Aggregation/projection epilogue over accumulated rows."""
+        result_rows, columns = finalize(rows, plan.select_items,
+                                        plan.group_by, counters,
+                                        limit=plan.limit)
+        return QueryResult(result_rows, columns)
+
+
+class _FragmentSession:
+    """Executes device-result batches against the host-side entries."""
+
+    def __init__(self, engine, plan, entries, input_aliases, counters,
+                 residual):
+        self.plan = plan
+        self.entries = entries
+        self.input_aliases = input_aliases
+        self.counters = counters
+        self.residual = residual
+        self._executor = PipelineExecutor(
+            engine.catalog, engine._pipeline_config(), counters)
+
+    def process_batch(self, batch, row_bytes):
+        """Join one batch of device rows with the host-side entries."""
+        rows, out_bytes = self._executor.run(
+            self.entries, self.plan.spec.tables,
+            residual_conjuncts=list(self.residual),
+            input_rows=batch,
+            input_row_bytes=row_bytes,
+            input_aliases=self.input_aliases,
+        )
+        return rows, out_bytes

@@ -1,0 +1,225 @@
+"""The on-device NDP engine.
+
+Executes the NDP-side fragment of a plan on the smart storage device:
+reserves pipeline buffers under the paper's 17/17/7 MB policy, captures
+the shared-state snapshot that makes execution intervention-free, runs
+the volcano pipeline with device-side buffer sizes, and switches the
+intermediate cache from *row* format to *pointer* format when more than
+two tables are processed (paper §4.2).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.engine.counters import WorkCounters
+from repro.engine.pipeline import PipelineConfig, PipelineExecutor, finalize
+from repro.engine.timing import ExecutionLocation
+from repro.errors import DeviceOverloadError, OffloadError
+from repro.lsm.snapshot import SharedState
+from repro.query.physical import JoinAlgorithm
+
+
+@dataclass
+class NDPCommand:
+    """The extended nKV NDP invocation (paper Fig 7.A).
+
+    Carries everything the device needs for autonomous execution: the
+    pipeline fragment, predicates, projections, index usage, physical
+    placements, and the shared-state snapshot.
+    """
+
+    entries: list                      # TableAccess fragment (device side)
+    tables: dict                       # alias -> table name
+    residual_conjuncts: list = field(default_factory=list)
+    shared_state: SharedState = None
+    aggregates_on_device: bool = False
+    select_items: list = field(default_factory=list)
+    group_by: list = field(default_factory=list)
+
+    @property
+    def payload_bytes(self):
+        """Approximate command size on the wire."""
+        base = 256                                    # fixed header
+        base += 192 * len(self.entries)               # per-op descriptors
+        base += 64 * len(self.residual_conjuncts)
+        if self.shared_state is not None:
+            base += self.shared_state.payload_bytes
+        return base
+
+    @property
+    def aliases(self):
+        """Aliases processed on the device."""
+        return [entry.alias for entry in self.entries]
+
+    def pipeline_shape(self):
+        """(selections, secondary selections, joins, group-bys) counts."""
+        selections = len(self.entries)
+        secondary = sum(1 for entry in self.entries
+                        if entry.uses_secondary_index)
+        joins = sum(1 for entry in self.entries
+                    if entry.join_algorithm is not None)
+        group_bys = 1 if (self.aggregates_on_device and self.group_by) else 0
+        return selections, secondary, joins, group_bys
+
+
+@dataclass
+class NDPExecution:
+    """Result of one on-device fragment execution."""
+
+    rows: list
+    row_bytes: int
+    counters: WorkCounters
+    reservation: object
+    pointer_cache: bool
+    result: object = None              # QueryResult when aggregated on device
+    stage_trace: list = field(default_factory=list)  # (alias, rows) pairs
+
+
+@dataclass
+class NDPEngineConfig:
+    """Device-side execution knobs.
+
+    ``buffer_scale`` shrinks the paper's absolute buffer sizes to the
+    synthetic dataset scale, preserving the dataset-to-buffer ratio that
+    produces the paper's buffer-pressure effects.
+    """
+
+    buffer_scale: float = 1.0
+    max_rows: int = None
+    pointer_cache_threshold: int = 2   # >2 tables -> pointer cache (§4.2)
+    # Absolute join-buffer size in bytes, bypassing scale and floor —
+    # used by the §5 buffer-size ablation.
+    join_buffer_override: int = None
+    # Probe bloom filters on the device (paper §2.2 future work for
+    # more powerful smart storage; off on COSMOS+).
+    use_bloom_filters: bool = False
+    # Device data-block/index-block buffers (part of the 520 MB temp
+    # reservation, §5) act as the on-device block cache.
+    block_cache_base_bytes: int = 520 * 1024 * 1024
+
+
+class NDPEngine:
+    """Runs NDP commands on the smart-storage device model."""
+
+    def __init__(self, catalog, database, device, config=None):
+        self.catalog = catalog
+        self.database = database
+        self.device = device
+        self.config = config or NDPEngineConfig()
+
+    # ------------------------------------------------------------------
+    # Command preparation (host side, but owned here for cohesion)
+    # ------------------------------------------------------------------
+    def prepare_command(self, plan, entries, residual_conjuncts,
+                        aggregates_on_device=False):
+        """Build the NDP invocation for a plan fragment.
+
+        Captures the shared-state snapshot of every involved column
+        family (primary + any secondary index CFs), per nKV §2.1.
+        """
+        if not self.device.ndp_mode:
+            raise OffloadError("device is not mounted in NDP mode")
+        family_names = []
+        for entry in entries:
+            table = self.catalog.table(entry.table_name)
+            family_names.extend(table.column_families())
+        shared_state = SharedState.capture(self.database, family_names)
+        return NDPCommand(
+            entries=list(entries),
+            tables=dict(plan.spec.tables),
+            residual_conjuncts=list(residual_conjuncts),
+            shared_state=shared_state,
+            aggregates_on_device=aggregates_on_device,
+            select_items=list(plan.select_items),
+            group_by=list(plan.group_by),
+        )
+
+    # ------------------------------------------------------------------
+    # Device-side execution
+    # ------------------------------------------------------------------
+    def join_buffer_bytes(self):
+        """Effective per-join buffer on the device."""
+        if self.config.join_buffer_override is not None:
+            return max(256, int(self.config.join_buffer_override))
+        return max(4096,
+                   int(self.device.spec.join_buffer_bytes
+                       * self.config.buffer_scale))
+
+    def block_cache_bytes(self):
+        """Effective on-device block cache."""
+        return max(8192,
+                   int(self.config.block_cache_base_bytes
+                       * self.config.buffer_scale))
+
+    def execute(self, command):
+        """Execute an NDP command; returns an :class:`NDPExecution`.
+
+        Raises :class:`DeviceOverloadError` when the pipeline does not
+        fit the device buffer budget — the caller then falls back to a
+        host(-heavier) strategy, as the optimizer preconditions demand.
+        """
+        shape = command.pipeline_shape()
+        reservation = self.device.reserve_pipeline(*shape)
+        try:
+            pointer_cache = (len(command.entries)
+                             > self.config.pointer_cache_threshold)
+            counters = WorkCounters()
+            pipeline_config = PipelineConfig(
+                join_buffer_bytes=self.join_buffer_bytes(),
+                pointer_cache=pointer_cache,
+                max_rows=self.config.max_rows,
+                block_cache_bytes=self.block_cache_bytes(),
+            )
+            # Update-aware NDP (§2.1): execute against the shared-state
+            # snapshot, never the live trees — host writes issued after
+            # command preparation are invisible to this execution.
+            device_catalog = self._device_catalog(command)
+            executor = PipelineExecutor(device_catalog, pipeline_config,
+                                        counters)
+            rows, row_bytes = executor.run(
+                command.entries, command.tables,
+                residual_conjuncts=command.residual_conjuncts)
+            result = None
+            if command.aggregates_on_device:
+                result_rows, columns = finalize(
+                    rows, command.select_items, command.group_by, counters)
+                from repro.engine.results import QueryResult
+                result = QueryResult(result_rows, columns)
+            counters.output_bytes += len(rows) * row_bytes
+            return NDPExecution(
+                rows=rows,
+                row_bytes=row_bytes,
+                counters=counters,
+                reservation=reservation,
+                pointer_cache=pointer_cache,
+                result=result,
+                stage_trace=list(executor.stage_trace),
+            )
+        except Exception:
+            self.device.release_pipeline(reservation)
+            raise
+
+    def _device_catalog(self, command):
+        """The snapshot catalog one command's execution reads through."""
+        from repro.relational.snapshot_table import SnapshotCatalog
+        if command.shared_state is None:
+            return self.catalog
+        table_names = {command.tables[alias] for alias in command.aliases}
+        return SnapshotCatalog(self.catalog, command.shared_state,
+                               table_names,
+                               use_bloom_filters=self.config.use_bloom_filters)
+
+    def release(self, execution):
+        """Return the pipeline's buffers to the device."""
+        self.device.release_pipeline(execution.reservation)
+
+    def can_offload(self, entries, with_group_by=False):
+        """Pre-flight buffer check for a candidate fragment."""
+        selections = len(entries)
+        secondary = sum(1 for entry in entries if entry.uses_secondary_index)
+        joins = sum(1 for entry in entries
+                    if entry.join_algorithm is not None)
+        try:
+            return self.device.can_host_pipeline(
+                selections, secondary, joins, 1 if with_group_by else 0)
+        except DeviceOverloadError:
+            return False

@@ -1,0 +1,147 @@
+"""Query results and execution reports.
+
+An :class:`ExecutionReport` carries everything the paper's evaluation
+charts need: total simulated time, per-side work breakdowns (Table 4),
+host wait / device stall accounting, the batch timeline (Fig 17), and
+the functional result rows for correctness checks.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.engine.counters import WorkCounters
+from repro.engine.timing import TimingBreakdown
+
+
+@dataclass
+class QueryResult:
+    """The functional answer of a query."""
+
+    rows: list
+    columns: list
+
+    def __len__(self):
+        return len(self.rows)
+
+    def sorted_rows(self):
+        """Rows in a canonical order (for comparing strategies)."""
+        def row_key(row):
+            return tuple(
+                (value is None, str(type(value)), value if value is not None
+                 else "") for value in
+                (row.get(column) for column in self.columns))
+        return sorted(self.rows, key=row_key)
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError("result is not scalar")
+        return self.rows[0][self.columns[0]]
+
+
+@dataclass
+class TimelinePhase:
+    """One activity interval of one actor on the simulated timeline."""
+
+    actor: str        # 'host' | 'device'
+    kind: str         # 'setup' | 'compute' | 'transfer' | 'wait' | 'stall'
+    start: float
+    end: float
+    label: str = ""
+
+    @property
+    def duration(self):
+        """Length of the interval."""
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionReport:
+    """Full account of one query execution on one stack/strategy."""
+
+    strategy: str
+    total_time: float
+    result: QueryResult
+    split_index: int = None            # k of Hk for hybrid runs
+    # Work
+    host_counters: WorkCounters = field(default_factory=WorkCounters)
+    device_counters: WorkCounters = field(default_factory=WorkCounters)
+    host_breakdown: TimingBreakdown = field(default_factory=TimingBreakdown)
+    device_breakdown: TimingBreakdown = field(default_factory=TimingBreakdown)
+    # Phases (host side, Table 4 left)
+    setup_time: float = 0.0
+    host_wait_initial: float = 0.0
+    host_wait_other: float = 0.0
+    transfer_time: float = 0.0
+    host_processing_time: float = 0.0
+    # Device side
+    device_busy_time: float = 0.0
+    device_stall_time: float = 0.0
+    # Cooperative details
+    batches: int = 0
+    intermediate_rows: int = 0
+    intermediate_bytes: int = 0
+    timeline: list = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def host_wait_total(self):
+        """All host waiting (initial + subsequent)."""
+        return self.host_wait_initial + self.host_wait_other
+
+    def host_stage_shares(self):
+        """Host stage breakdown in percent of total (Table 4 left)."""
+        if self.total_time <= 0:
+            return {}
+        stages = {
+            "ndp_setup": self.setup_time,
+            "wait_initial": self.host_wait_initial,
+            "wait_subsequent": self.host_wait_other,
+            "result_transfer": self.transfer_time,
+            "processing": self.host_processing_time,
+        }
+        return {name: 100.0 * value / self.total_time
+                for name, value in stages.items()}
+
+    def device_operation_shares(self):
+        """Device operation breakdown in percent (Table 4 right)."""
+        return self.device_breakdown.percentages()
+
+    def summary(self):
+        """One-line human-readable summary."""
+        return (f"{self.strategy}: {self.total_time * 1e3:.3f} ms, "
+                f"{len(self.result)} row(s), batches={self.batches}, "
+                f"host_wait={self.host_wait_total * 1e3:.3f} ms, "
+                f"device_stall={self.device_stall_time * 1e3:.3f} ms")
+
+    def to_dict(self, include_rows=False, include_timeline=False):
+        """JSON-serialisable view of the report (for tooling/logs)."""
+        payload = {
+            "strategy": self.strategy,
+            "split_index": self.split_index,
+            "total_time": self.total_time,
+            "result_rows": len(self.result),
+            "setup_time": self.setup_time,
+            "host_wait_initial": self.host_wait_initial,
+            "host_wait_other": self.host_wait_other,
+            "transfer_time": self.transfer_time,
+            "host_processing_time": self.host_processing_time,
+            "device_busy_time": self.device_busy_time,
+            "device_stall_time": self.device_stall_time,
+            "batches": self.batches,
+            "intermediate_rows": self.intermediate_rows,
+            "intermediate_bytes": self.intermediate_bytes,
+            "host_counters": self.host_counters.as_dict(),
+            "device_counters": self.device_counters.as_dict(),
+            "host_stage_shares": self.host_stage_shares(),
+            "device_operation_shares": self.device_operation_shares(),
+            "notes": {key: value for key, value in self.notes.items()
+                      if isinstance(value, (str, int, float, bool, list))},
+        }
+        if include_rows:
+            payload["rows"] = self.result.rows
+            payload["columns"] = self.result.columns
+        if include_timeline:
+            payload["timeline"] = [
+                {"actor": p.actor, "kind": p.kind, "start": p.start,
+                 "end": p.end, "label": p.label} for p in self.timeline]
+        return payload

@@ -1,0 +1,122 @@
+"""Execution stacks (paper Fig 10).
+
+* ``BLK``    — traditional file-system stack; all data moves to the host.
+* ``NATIVE`` — direct NVMe into user space; still host-only processing.
+* ``NDP``    — full on-device execution of the QEP.
+* ``HYBRID`` — hybridNDP cooperative execution at a split point.
+
+:class:`StackRunner` wires a catalog + device into the engines and runs a
+query (SQL or prebuilt plan) on any stack, returning an
+:class:`ExecutionReport` whose result rows are identical across stacks.
+"""
+
+import enum
+
+from repro.engine.cooperative import CooperativeExecutor
+from repro.engine.host import HostEngine, HostEngineConfig
+from repro.engine.ndp import NDPEngine, NDPEngineConfig
+from repro.engine.timing import HostIOPath, TimingModel
+from repro.errors import PlanError
+from repro.query.optimizer import build_plan
+from repro.storage.machines import HOST_I5
+
+
+class Stack(enum.Enum):
+    """Which software/hardware stack executes the query."""
+
+    BLK = "blk"
+    NATIVE = "native"
+    NDP = "ndp"
+    HYBRID = "hybrid"
+
+
+class StackRunner:
+    """Convenience facade: run queries on any stack over one catalog."""
+
+    def __init__(self, catalog, database, device, host_spec=None,
+                 buffer_scale=1.0, host_config=None, ndp_config=None):
+        self.catalog = catalog
+        self.database = database
+        self.device = device
+        self.host_spec = host_spec or HOST_I5
+        if host_config is None:
+            # The host page cache is a share of host DRAM; like the device
+            # buffers it is scaled to the synthetic dataset so the
+            # cache-to-data ratio matches the paper's 4 GB vs 16 GB.
+            page_cache = max(64 * 1024,
+                             int(self.host_spec.memory_bytes // 2
+                                 * buffer_scale))
+            host_config = HostEngineConfig(
+                join_buffer_bytes=max(
+                    64 * 1024, int(32 * 1024 * 1024 * buffer_scale * 16)),
+                block_cache_bytes=page_cache,
+            )
+        self._host_config = host_config
+        self._ndp_config = ndp_config or NDPEngineConfig(
+            buffer_scale=buffer_scale)
+
+        self._timing_native = TimingModel(device, self.host_spec,
+                                          io_path=HostIOPath.NATIVE)
+        self._timing_blk = TimingModel(device, self.host_spec,
+                                       io_path=HostIOPath.BLOCK)
+
+        self._host_native = HostEngine(catalog, self._timing_native,
+                                       self._host_config)
+        self._host_blk = HostEngine(catalog, self._timing_blk,
+                                    self._host_config)
+        self._ndp = NDPEngine(catalog, database, device, self._ndp_config)
+        self._cooperative = CooperativeExecutor(
+            self._host_native, self._ndp, self._timing_native)
+
+    @property
+    def ndp_engine(self):
+        """The NDP engine (exposed for planners and tests)."""
+        return self._ndp
+
+    @property
+    def timing(self):
+        """The native-path timing model used for NDP/hybrid runs."""
+        return self._timing_native
+
+    def plan(self, sql):
+        """Build the baseline physical plan for SQL text."""
+        return build_plan(sql, self.catalog)
+
+    def run(self, query, stack, split_index=None):
+        """Execute ``query`` (SQL text or QueryPlan) on ``stack``.
+
+        For ``Stack.HYBRID`` a ``split_index`` (the k of Hk) is required.
+        """
+        plan = self.plan(query) if isinstance(query, str) else query
+        if stack is Stack.BLK:
+            return self._host_blk.execute(plan, strategy="host-only(blk)")
+        if stack is Stack.NATIVE:
+            return self._host_native.execute(plan,
+                                             strategy="host-only(native)")
+        if stack is Stack.NDP:
+            return self._cooperative.run_full_ndp(plan)
+        if stack is Stack.HYBRID:
+            if split_index is None:
+                raise PlanError("hybrid execution needs a split_index")
+            return self._cooperative.run_split(plan, split_index)
+        raise PlanError(f"unknown stack {stack!r}")
+
+    def run_all_splits(self, query):
+        """Run every strategy: BLK, H0..H(n-1), full NDP.
+
+        Returns ``{strategy_name: ExecutionReport}`` — the raw material
+        of the paper's Figs 12 and 16.
+        """
+        plan = self.plan(query) if isinstance(query, str) else query
+        reports = {"host-only": self.run(plan, Stack.BLK)}
+        for k in range(plan.table_count):
+            try:
+                reports[f"H{k}"] = self.run(plan, Stack.HYBRID,
+                                            split_index=k)
+            except Exception as error:  # overload -> strategy infeasible
+                reports[f"H{k}"] = error
+        try:
+            reports["full-ndp"] = self.run(plan, Stack.NDP)
+        except Exception as error:
+            reports["full-ndp"] = error
+        return reports

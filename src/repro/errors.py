@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StorageError(ReproError):
+    """A storage-device operation failed (bad page, out-of-range read...)."""
+
+
+class LSMError(ReproError):
+    """An LSM-tree invariant was violated or an operation was invalid."""
+
+
+class SchemaError(ReproError):
+    """A relational schema is inconsistent or a record does not match it."""
+
+
+class CatalogError(ReproError):
+    """A table, column, or index was not found in the catalog."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A query plan could not be constructed or is malformed."""
+
+
+class ExecutionError(ReproError):
+    """Query execution failed."""
+
+
+class DeviceOverloadError(ExecutionError):
+    """The NDP device ran out of memory or buffer slots for the request."""
+
+
+class OffloadError(ReproError):
+    """An NDP offload precondition was violated."""

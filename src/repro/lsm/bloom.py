@@ -1,0 +1,80 @@
+"""Bloom filter over SSTable keys.
+
+Used by the host-side read path to skip SSTs that cannot contain a key.
+The NDP engine deliberately does not probe blooms (paper §2.2): they have
+already been probed on the host when the command was prepared.
+"""
+
+import math
+import zlib
+
+from repro.errors import LSMError
+
+
+class BloomFilter:
+    """A classic k-hash bloom filter over bytes keys.
+
+    Hashing uses double CRC32 (fast, deterministic across processes) in
+    the usual h1 + i*h2 double-hashing scheme.
+    """
+
+    def __init__(self, expected_items, bits_per_key=10):
+        if expected_items < 0:
+            raise LSMError("expected_items must be non-negative")
+        self._nbits = max(64, expected_items * bits_per_key)
+        self._nhashes = max(1, int(round(bits_per_key * math.log(2))))
+        self._bits = bytearray((self._nbits + 7) // 8)
+        self._items = 0
+
+    @property
+    def nbits(self):
+        """Size of the bit array."""
+        return self._nbits
+
+    @property
+    def nhashes(self):
+        """Number of hash functions."""
+        return self._nhashes
+
+    @property
+    def items(self):
+        """Number of keys added."""
+        return self._items
+
+    def add(self, key):
+        """Insert a key."""
+        h1 = zlib.crc32(key)
+        h2 = (zlib.crc32(key, 0x9E3779B9) << 15) | 1
+        nbits = self._nbits
+        bits = self._bits
+        for i in range(self._nhashes):
+            pos = (h1 + i * h2) % nbits
+            bits[pos >> 3] |= 1 << (pos & 7)
+        self._items += 1
+
+    def might_contain(self, key):
+        """False means definitely absent; True means possibly present."""
+        h1 = zlib.crc32(key)
+        h2 = (zlib.crc32(key, 0x9E3779B9) << 15) | 1
+        nbits = self._nbits
+        bits = self._bits
+        for i in range(self._nhashes):
+            pos = (h1 + i * h2) % nbits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def __contains__(self, key):
+        return self.might_contain(key)
+
+    @property
+    def size_bytes(self):
+        """Serialized size of the filter."""
+        return len(self._bits)
+
+    def false_positive_rate(self):
+        """Theoretical false-positive probability at the current load."""
+        if self._items == 0:
+            return 0.0
+        exponent = -self._nhashes * self._items / self._nbits
+        return (1.0 - math.exp(exponent)) ** self._nhashes

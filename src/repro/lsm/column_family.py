@@ -1,0 +1,101 @@
+"""Column families and the multi-CF database.
+
+RocksDB partitions one database instance into column families, each with
+its own LSM tree and options; MyRocks maps every table and every secondary
+index to its own column family (paper §2.2).  All column families share
+one flash device so physical placement is globally consistent.
+"""
+
+from repro.errors import LSMError
+from repro.lsm.store import LSMConfig, LSMTree
+
+
+class ColumnFamily:
+    """A named partition of the database with a dedicated LSM tree."""
+
+    def __init__(self, name, tree):
+        self.name = name
+        self.tree = tree
+
+    # Thin delegation API so callers don't reach through .tree for basics.
+    def put(self, key, value):
+        """Write a key/value pair."""
+        self.tree.put(key, value)
+
+    def delete(self, key):
+        """Delete a key."""
+        self.tree.delete(key)
+
+    def get(self, key, stats=None):
+        """Point lookup."""
+        return self.tree.get(key, stats=stats)
+
+    def scan(self, lo=None, hi=None, value_predicate=None, stats=None):
+        """Range scan."""
+        return self.tree.scan(lo=lo, hi=hi, value_predicate=value_predicate,
+                              stats=stats)
+
+    def apply_batch(self, batch):
+        """Apply a :class:`~repro.lsm.store.WriteBatch` atomically."""
+        self.tree.apply_batch(batch)
+
+    def __repr__(self):
+        return f"ColumnFamily({self.name!r}, {self.tree!r})"
+
+
+class KVDatabase:
+    """A RocksDB-style instance holding multiple column families."""
+
+    def __init__(self, flash=None, default_config=None):
+        self.flash = flash
+        self._default_config = default_config or LSMConfig()
+        self._families = {}
+        self.create_column_family("default")
+
+    def create_column_family(self, name, config=None):
+        """Create a new column family; names must be unique."""
+        if name in self._families:
+            raise LSMError(f"column family {name!r} already exists")
+        tree = LSMTree(name=name, config=config or self._default_config,
+                       flash=self.flash)
+        family = ColumnFamily(name, tree)
+        self._families[name] = family
+        return family
+
+    def drop_column_family(self, name):
+        """Drop a column family (the 'default' CF cannot be dropped)."""
+        if name == "default":
+            raise LSMError("cannot drop the default column family")
+        if name not in self._families:
+            raise LSMError(f"column family {name!r} does not exist")
+        del self._families[name]
+
+    def column_family(self, name):
+        """Look up a column family by name."""
+        try:
+            return self._families[name]
+        except KeyError:
+            raise LSMError(f"column family {name!r} does not exist") from None
+
+    def __contains__(self, name):
+        return name in self._families
+
+    def families(self):
+        """All column families."""
+        return list(self._families.values())
+
+    def family_names(self):
+        """Names of all column families."""
+        return list(self._families)
+
+    def flush_all(self):
+        """Force-flush every column family (used after bulk loads)."""
+        for family in self._families.values():
+            family.tree.freeze_and_flush()
+
+    def total_bytes(self):
+        """Total on-flash bytes across the instance."""
+        return sum(f.tree.total_bytes() for f in self._families.values())
+
+    def __repr__(self):
+        return f"KVDatabase(families={sorted(self._families)})"

@@ -1,0 +1,51 @@
+"""Merging iterators across MemTables and SSTs.
+
+A GET/SCAN must see the newest version of each key: MemTables first, then
+C1 SSTs newest-first, then lower levels.  The merging iterator performs a
+k-way merge with precedence-based shadowing; tombstones shadow older
+versions and are dropped at the top.
+"""
+
+import heapq
+
+from repro.lsm.memtable import TOMBSTONE
+
+
+def merge_sources(sources):
+    """k-way merge of (key, value) iterators with precedence shadowing.
+
+    ``sources`` is ordered newest-first; when several sources yield the
+    same key, only the newest version is emitted.  Tombstones are emitted
+    as-is (callers decide whether to drop them — compaction keeps them
+    unless merging into the last level).
+    """
+    heap = []
+    iterators = [iter(source) for source in sources]
+    for precedence, iterator in enumerate(iterators):
+        try:
+            key, value = next(iterator)
+        except StopIteration:
+            continue
+        heap.append((key, precedence, value))
+    heapq.heapify(heap)
+
+    last_key = None
+    while heap:
+        key, precedence, value = heapq.heappop(heap)
+        try:
+            next_key, next_value = next(iterators[precedence])
+            heapq.heappush(heap, (next_key, precedence, next_value))
+        except StopIteration:
+            pass
+        if key == last_key:
+            continue  # shadowed by a newer source
+        last_key = key
+        yield key, value
+
+
+def live_entries(merged):
+    """Drop tombstones from a merged stream (read path)."""
+    for key, value in merged:
+        if value == TOMBSTONE:
+            continue
+        yield key, value

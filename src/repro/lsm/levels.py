@@ -1,0 +1,143 @@
+"""Level structure of a multi-level LSM tree.
+
+Level 1 receives freshly flushed MemTables without merging, so its SSTs
+may have overlapping key ranges; levels 2..K are produced by compaction
+and are non-overlapping and sorted (paper §2.2, Fig. 4).
+"""
+
+import bisect
+
+from repro.errors import LSMError
+
+
+class LevelStructure:
+    """Holds the SSTs of levels 1..K for one LSM tree."""
+
+    def __init__(self, max_levels=7, tiered=False):
+        """``tiered=True`` allows overlapping runs on every level (the
+        size-tiered strategy keeps multiple sorted runs per tier)."""
+        if max_levels < 2:
+            raise LSMError("need at least 2 levels")
+        self.max_levels = max_levels
+        self.tiered = tiered
+        # _levels[0] is C1 (overlapping); _levels[i] is C(i+1).
+        self._levels = [[] for _ in range(max_levels)]
+        # Cached per-level min-key arrays for binary search on the read
+        # path; rebuilt lazily after mutations.
+        self._min_keys = [None] * max_levels
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+    def level(self, n):
+        """SSTs of level ``n`` (1-based, matching the paper's C1..CK)."""
+        if not 1 <= n <= self.max_levels:
+            raise LSMError(f"level {n} out of range 1..{self.max_levels}")
+        return list(self._levels[n - 1])
+
+    @property
+    def levels(self):
+        """All non-empty levels as (level_number, [ssts]) pairs."""
+        return [(i + 1, list(ssts))
+                for i, ssts in enumerate(self._levels) if ssts]
+
+    def all_ssts(self):
+        """Every SST, newest level first, suitable for read precedence."""
+        result = []
+        for i, ssts in enumerate(self._levels):
+            if i == 0 or self.tiered:
+                # Overlapping runs: newest (appended last) first.
+                result.extend(reversed(ssts))
+            else:
+                result.extend(ssts)
+        return result
+
+    def sst_count(self):
+        """Total number of SSTs."""
+        return sum(len(level) for level in self._levels)
+
+    def level_bytes(self, n):
+        """Total bytes stored in level ``n``."""
+        return sum(sst.nbytes for sst in self._levels[n - 1])
+
+    def total_bytes(self):
+        """Total bytes across all levels."""
+        return sum(self.level_bytes(n) for n in range(1, self.max_levels + 1))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_to_level(self, n, sst):
+        """Install an SST into level ``n``, keeping sorted order for n>=2
+        under the leveled strategy; tiered levels simply stack runs."""
+        if not 1 <= n <= self.max_levels:
+            raise LSMError(f"level {n} out of range")
+        sst.level = n
+        bucket = self._levels[n - 1]
+        if n == 1 or self.tiered:
+            bucket.append(sst)
+            self._min_keys[n - 1] = None
+            return
+        keys = [existing.min_key for existing in bucket]
+        pos = bisect.bisect_left(keys, sst.min_key)
+        if pos > 0 and bucket[pos - 1].max_key >= sst.min_key:
+            raise LSMError(
+                f"SST overlaps predecessor in non-overlapping level {n}")
+        if pos < len(bucket) and bucket[pos].min_key <= sst.max_key:
+            raise LSMError(
+                f"SST overlaps successor in non-overlapping level {n}")
+        bucket.insert(pos, sst)
+        self._min_keys[n - 1] = None
+
+    def remove(self, sst):
+        """Remove an SST wherever it lives."""
+        for i, bucket in enumerate(self._levels):
+            if sst in bucket:
+                bucket.remove(sst)
+                self._min_keys[i] = None
+                return
+        raise LSMError(f"SST {sst.sst_id} not present in any level")
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def overlapping(self, n, lo, hi):
+        """SSTs of level ``n`` whose fences overlap [lo, hi]."""
+        return [sst for sst in self._levels[n - 1] if sst.overlaps(lo, hi)]
+
+    def candidates_for_key(self, key):
+        """SSTs possibly containing ``key``, in read-precedence order."""
+        result = []
+        for i, bucket in enumerate(self._levels):
+            if not bucket:
+                continue
+            if i == 0 or self.tiered:
+                for sst in reversed(bucket):
+                    if sst.min_key <= key <= sst.max_key:
+                        result.append(sst)
+            else:
+                keys = self._min_keys[i]
+                if keys is None:
+                    keys = [sst.min_key for sst in bucket]
+                    self._min_keys[i] = keys
+                pos = bisect.bisect_right(keys, key) - 1
+                if pos >= 0 and bucket[pos].max_key >= key:
+                    result.append(bucket[pos])
+        return result
+
+    def check_invariants(self):
+        """Validate non-overlap in levels >= 2; raises on violation.
+
+        Tiered structures allow overlap everywhere, so the check passes
+        trivially for them.
+        """
+        if self.tiered:
+            return True
+        for i, bucket in enumerate(self._levels[1:], start=2):
+            for a, b in zip(bucket, bucket[1:]):
+                if a.max_key >= b.min_key:
+                    raise LSMError(
+                        f"level {i} overlap: {a.sst_id} and {b.sst_id}")
+                if a.min_key > b.min_key:
+                    raise LSMError(f"level {i} not sorted")
+        return True

@@ -1,0 +1,83 @@
+"""MemTable: the in-memory C0 component of an LSM tree.
+
+Writes land here first; once the table exceeds its size threshold it is
+frozen (made immutable) and a new MemTable takes over, as in RocksDB.
+Deletes are tombstones so they shadow older on-disk versions.
+"""
+
+from repro.errors import LSMError
+from repro.lsm.skiplist import SkipList
+
+#: Sentinel stored for deleted keys; chosen to be an invalid record value.
+TOMBSTONE = b"\x00__repro_tombstone__\x00"
+
+
+class MemTable:
+    """A size-bounded, skiplist-backed write buffer."""
+
+    def __init__(self, size_limit=4 * 1024 * 1024, seed=0):
+        if size_limit <= 0:
+            raise LSMError("memtable size limit must be positive")
+        self._list = SkipList(seed=seed)
+        self._size_limit = size_limit
+        self._bytes = 0
+        self._immutable = False
+
+    def __len__(self):
+        return len(self._list)
+
+    @property
+    def byte_size(self):
+        """Approximate bytes of keys+values held."""
+        return self._bytes
+
+    @property
+    def size_limit(self):
+        """Flush threshold in bytes."""
+        return self._size_limit
+
+    @property
+    def immutable(self):
+        """True once the table has been frozen."""
+        return self._immutable
+
+    def is_full(self):
+        """Whether the table has reached its flush threshold."""
+        return self._bytes >= self._size_limit
+
+    def freeze(self):
+        """Make the table immutable (pre-flush state in RocksDB)."""
+        self._immutable = True
+
+    def put(self, key, value):
+        """Insert or overwrite a key."""
+        if self._immutable:
+            raise LSMError("cannot write to an immutable MemTable")
+        if not isinstance(value, bytes):
+            raise LSMError(f"values must be bytes, got {type(value)}")
+        self._list.insert(key, value)
+        self._bytes += len(key) + len(value)
+
+    def delete(self, key):
+        """Record a tombstone for a key."""
+        if self._immutable:
+            raise LSMError("cannot write to an immutable MemTable")
+        self._list.insert(key, TOMBSTONE)
+        self._bytes += len(key) + len(TOMBSTONE)
+
+    def get(self, key):
+        """Return (found, value). Tombstones report found with value None."""
+        value = self._list.get(key)
+        if value is None:
+            return False, None
+        if value == TOMBSTONE:
+            return True, None
+        return True, value
+
+    def items(self, lo=None, hi=None):
+        """Yield (key, value) pairs in order; tombstones included as-is."""
+        return self._list.items(lo=lo, hi=hi)
+
+    def entries(self):
+        """Materialize all entries (used when freezing into an SST)."""
+        return list(self._list.items())

@@ -1,0 +1,114 @@
+"""A deterministic skiplist keyed by bytes.
+
+RocksDB's MemTables are skiplists; ours is seeded so test runs are
+reproducible.  Keys are ``bytes`` in lexicographic order; values are
+arbitrary objects (the MemTable stores value bytes or a tombstone marker).
+"""
+
+import random
+
+from repro.errors import LSMError
+
+_MAX_LEVEL = 16
+_P = 0.25
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key, value, level):
+        self.key = key
+        self.value = value
+        self.forward = [None] * level
+
+
+class SkipList:
+    """Sorted map from bytes keys to values with O(log n) expected ops."""
+
+    def __init__(self, seed=0):
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._rng = random.Random(seed)
+        self._size = 0
+
+    def __len__(self):
+        return self._size
+
+    def _random_level(self):
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key):
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+            update[i] = node
+        return update
+
+    def insert(self, key, value):
+        """Insert or overwrite ``key``."""
+        if not isinstance(key, bytes):
+            raise LSMError(f"skiplist keys must be bytes, got {type(key)}")
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._size += 1
+
+    def get(self, key, default=None):
+        """Look up ``key``; return ``default`` when absent."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key):
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def items(self, lo=None, hi=None):
+        """Yield (key, value) in key order, optionally within [lo, hi)."""
+        if lo is None:
+            node = self._head.forward[0]
+        else:
+            update = self._find_predecessors(lo)
+            node = update[0].forward[0]
+        while node is not None:
+            if hi is not None and node.key >= hi:
+                return
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self):
+        """Yield keys in order."""
+        for key, _value in self.items():
+            yield key
+
+    def first_key(self):
+        """Smallest key, or None when empty."""
+        node = self._head.forward[0]
+        return None if node is None else node.key
+
+    def last_key(self):
+        """Largest key, or None when empty."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None:
+                node = node.forward[i]
+        return None if node is self._head else node.key

@@ -1,0 +1,158 @@
+"""Shared state for intervention-free NDP execution.
+
+nKV sends, alongside every NDP invocation, (a) the unflushed MemTable
+contents of each involved column family and (b) the physical placement of
+every involved SST, so the device can construct a transactionally
+consistent snapshot of the database without further host interaction
+(paper §2.1, "Shared State" / update-aware NDP).
+
+:class:`SnapshotView` is the device-side read structure built from one
+family's shared state: it merges the shipped MemTable entries with the
+referenced SSTs exactly like the live read path, but is pinned — host
+writes after capture are invisible, which is what makes the NDP
+execution transactionally consistent.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.lsm.iterator import live_entries, merge_sources
+from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.store import ReadStats
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """Snapshot of a single column family."""
+
+    name: str
+    memtable_entries: tuple          # ((key, value_or_tombstone), ...)
+    placements: tuple                # physical placement dicts
+    total_bytes: int
+    # Device-side handles to the referenced SSTs (the simulation's
+    # address-mapping resolution; not part of the wire payload).
+    sst_refs: tuple = field(default=(), repr=False, compare=False)
+
+    @property
+    def memtable_count(self):
+        """Unflushed entries shipped with the command."""
+        return len(self.memtable_entries)
+
+    @property
+    def sst_count(self):
+        """Number of SSTs the device may touch."""
+        return len(self.placements)
+
+
+class SnapshotView:
+    """Pinned read view over one family's shared state.
+
+    Mirrors the :class:`~repro.lsm.store.LSMTree` read API (get/scan with
+    a ``stats`` parameter) so the device pipeline can run against it
+    unchanged.  By default bloom filters are NOT probed — the paper
+    notes the NDP engine skips them since the host already did (§2.2) —
+    but ``use_bloom_filters=True`` enables the future-work variant the
+    paper anticipates for more powerful devices.
+    """
+
+    def __init__(self, snapshot, use_bloom_filters=False):
+        self._snapshot = snapshot
+        self._memtable = dict(snapshot.memtable_entries)
+        self._memtable_sorted = sorted(snapshot.memtable_entries)
+        self._ssts = list(snapshot.sst_refs)
+        self.use_bloom_filters = use_bloom_filters
+
+    @property
+    def name(self):
+        """Column family name."""
+        return self._snapshot.name
+
+    def get(self, key, stats=None):
+        """Point lookup following memtable -> SST precedence."""
+        stats = stats if stats is not None else ReadStats()
+        if key in self._memtable:
+            stats.memtable_gets += 1
+            value = self._memtable[key]
+            return None if value == TOMBSTONE else value
+        for sst in self._ssts:
+            if not sst.overlaps(key, key):
+                stats.ssts_skipped_fence += 1
+                continue
+            if self.use_bloom_filters and not sst.might_contain(key, stats):
+                stats.ssts_skipped_bloom += 1
+                continue
+            stats.ssts_considered += 1
+            found, value = sst.get(key, stats)
+            if found:
+                return value
+        return None
+
+    def scan(self, lo=None, hi=None, value_predicate=None, stats=None):
+        """Range scan over the pinned components."""
+        stats = stats if stats is not None else ReadStats()
+        sources = [iter([(k, v) for k, v in self._memtable_sorted
+                         if (lo is None or k >= lo)
+                         and (hi is None or k < hi)])]
+        for sst in self._ssts:
+            if not sst.overlaps(lo, hi):
+                stats.ssts_skipped_fence += 1
+                continue
+            stats.ssts_considered += 1
+            sources.append(sst.iter_range(lo, hi, stats=stats))
+        for key, value in live_entries(merge_sources(sources)):
+            stats.entries_scanned += 1
+            if value_predicate is None or value_predicate(value):
+                yield key, value
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """Everything an NDP command carries about database state."""
+
+    families: tuple = field(default_factory=tuple)
+
+    @classmethod
+    def capture(cls, database, family_names):
+        """Capture a consistent snapshot of the named column families."""
+        snapshots = []
+        for name in family_names:
+            family = database.column_family(name)
+            tree = family.tree
+            entries = tuple(tree.memtable.items())
+            placements = tuple(
+                tuple(sorted(placement.items(), key=lambda kv: kv[0]))
+                if isinstance(placement, dict) else placement
+                for placement in tree.placements()
+            )
+            snapshots.append(FamilySnapshot(
+                name=name,
+                memtable_entries=entries,
+                placements=placements,
+                total_bytes=tree.total_bytes(),
+                sst_refs=tuple(tree.levels.all_ssts()),
+            ))
+        return cls(families=tuple(snapshots))
+
+    def view(self, name, use_bloom_filters=False):
+        """Device-side :class:`SnapshotView` of one family."""
+        return SnapshotView(self.family(name),
+                            use_bloom_filters=use_bloom_filters)
+
+    def family(self, name):
+        """Snapshot of one family; raises KeyError when absent."""
+        for snapshot in self.families:
+            if snapshot.name == name:
+                return snapshot
+        raise KeyError(name)
+
+    @property
+    def payload_bytes(self):
+        """Approximate command payload size (memtable entries + placement)."""
+        total = 0
+        for snapshot in self.families:
+            for key, value in snapshot.memtable_entries:
+                total += len(key) + (len(value) if value else 0)
+            total += 64 * len(snapshot.placements)
+        return total
+
+    def __len__(self):
+        return len(self.families)

@@ -1,0 +1,242 @@
+"""Sorted String Tables.
+
+An SST holds sorted key/value entries in fixed-target-size *data blocks*,
+preceded by a sparse *index block* (first key + offset per data block), a
+bloom filter, and min/max fence keys (paper §2.2).  The table body is
+allocated on the flash device, so each SST has a genuine physical
+placement that NDP commands can reference.
+
+Reads are accounted into a stats object (index blocks read, data blocks
+read, bytes read, key comparisons) which the timing model prices.
+"""
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import LSMError
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.memtable import TOMBSTONE
+
+_ENTRY_HEADER = 8      # 4-byte key length + 4-byte value length
+_BLOCK_HEADER = 8
+_INDEX_ENTRY_OVERHEAD = 12
+
+
+@dataclass
+class _DataBlock:
+    """One sorted run of entries plus its on-flash footprint."""
+
+    first_key: bytes
+    last_key: bytes
+    entries: list            # list[(key, value)]
+    nbytes: int
+    offset: int
+    keys: list = None        # sorted key array for binary search
+
+    def __post_init__(self):
+        if self.keys is None:
+            self.keys = [entry[0] for entry in self.entries]
+
+
+class SSTableBuilder:
+    """Accumulates sorted entries and emits an :class:`SSTable`."""
+
+    def __init__(self, block_size=4096, bits_per_key=10):
+        if block_size <= 0:
+            raise LSMError("block size must be positive")
+        self._block_size = block_size
+        self._bits_per_key = bits_per_key
+        self._entries = []
+        self._last_key = None
+
+    def add(self, key, value):
+        """Append an entry; keys must arrive in strictly increasing order."""
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise LSMError("SST entries must be bytes")
+        if self._last_key is not None and key <= self._last_key:
+            raise LSMError(
+                f"SST entries out of order: {key!r} after {self._last_key!r}")
+        self._entries.append((key, value))
+        self._last_key = key
+
+    def __len__(self):
+        return len(self._entries)
+
+    def finish(self, flash=None, sst_id=0, level=0):
+        """Build the SSTable, allocating it on ``flash`` when given."""
+        if not self._entries:
+            raise LSMError("cannot build an empty SSTable")
+        blocks = []
+        offset = 0
+        current = []
+        current_bytes = _BLOCK_HEADER
+        bloom = BloomFilter(len(self._entries), self._bits_per_key)
+
+        def close_block():
+            nonlocal current, current_bytes, offset
+            block = _DataBlock(
+                first_key=current[0][0],
+                last_key=current[-1][0],
+                entries=current,
+                nbytes=current_bytes,
+                offset=offset,
+            )
+            blocks.append(block)
+            offset += current_bytes
+            current = []
+            current_bytes = _BLOCK_HEADER
+
+        for key, value in self._entries:
+            bloom.add(key)
+            entry_bytes = _ENTRY_HEADER + len(key) + len(value)
+            if current and current_bytes + entry_bytes > self._block_size:
+                close_block()
+            current.append((key, value))
+            current_bytes += entry_bytes
+        if current:
+            close_block()
+
+        index_bytes = sum(
+            len(block.first_key) + _INDEX_ENTRY_OVERHEAD for block in blocks)
+        total_bytes = offset + index_bytes + bloom.size_bytes
+        extent = None
+        if flash is not None:
+            extent = flash.allocate(total_bytes, owner=f"sst-{sst_id}")
+        return SSTable(
+            sst_id=sst_id,
+            level=level,
+            blocks=blocks,
+            bloom=bloom,
+            index_bytes=index_bytes,
+            nbytes=total_bytes,
+            entry_count=len(self._entries),
+            extent=extent,
+        )
+
+
+class SSTable:
+    """An immutable sorted table with sparse index and bloom filter."""
+
+    def __init__(self, sst_id, level, blocks, bloom, index_bytes, nbytes,
+                 entry_count, extent=None):
+        self.sst_id = sst_id
+        self.level = level
+        self._blocks = blocks
+        self._index_keys = [block.first_key for block in blocks]
+        self.bloom = bloom
+        self.index_bytes = index_bytes
+        self.nbytes = nbytes
+        self.entry_count = entry_count
+        self.extent = extent
+
+    # ------------------------------------------------------------------
+    # Fence pointers / metadata
+    # ------------------------------------------------------------------
+    @property
+    def min_key(self):
+        """Smallest key in the table (fence pointer)."""
+        return self._blocks[0].first_key
+
+    @property
+    def max_key(self):
+        """Largest key in the table (fence pointer)."""
+        return self._blocks[-1].last_key
+
+    @property
+    def block_count(self):
+        """Number of data blocks."""
+        return len(self._blocks)
+
+    def overlaps(self, lo, hi):
+        """Fence-pointer check against key range [lo, hi] (None = open)."""
+        if lo is not None and self.max_key < lo:
+            return False
+        if hi is not None and self.min_key > hi:
+            return False
+        return True
+
+    def might_contain(self, key, stats=None):
+        """Bloom probe; charged to ``stats`` when given."""
+        if stats is not None:
+            stats.bloom_probes += 1
+        hit = self.bloom.might_contain(key)
+        if stats is not None and not hit:
+            stats.bloom_negatives += 1
+        return hit
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _charge_index(self, stats):
+        if stats is None:
+            return
+        if stats.cache is not None and stats.cache.access(
+                ("idx", self.sst_id), self.index_bytes):
+            stats.cache_hits += 1
+            return
+        stats.index_blocks_read += 1
+        stats.bytes_read += self.index_bytes
+
+    def _charge_data_block(self, stats, block):
+        if stats is None:
+            return
+        if stats.cache is not None and stats.cache.access(
+                ("blk", self.sst_id, block.offset), block.nbytes):
+            stats.cache_hits += 1
+            return
+        stats.data_blocks_read += 1
+        stats.bytes_read += block.nbytes
+
+    def _locate_block(self, key, stats=None):
+        self._charge_index(stats)
+        idx = bisect.bisect_right(self._index_keys, key) - 1
+        if idx < 0:
+            idx = 0
+        return idx
+
+    def get(self, key, stats=None):
+        """Point lookup: (found, value). Tombstones return (True, None)."""
+        if key < self.min_key or key > self.max_key:
+            return False, None
+        idx = self._locate_block(key, stats)
+        block = self._blocks[idx]
+        self._charge_data_block(stats, block)
+        keys = block.keys
+        pos = bisect.bisect_left(keys, key)
+        if stats is not None:
+            stats.key_comparisons += max(1, len(keys).bit_length())
+        if pos < len(block.entries) and block.entries[pos][0] == key:
+            value = block.entries[pos][1]
+            if value == TOMBSTONE:
+                return True, None
+            return True, value
+        return False, None
+
+    def iter_range(self, lo=None, hi=None, stats=None):
+        """Yield (key, value) for keys in [lo, hi); tombstones included.
+
+        ``hi`` is exclusive to compose cleanly with merging iterators.
+        """
+        if lo is not None and self._blocks:
+            start = self._locate_block(lo, stats)
+        else:
+            start = 0
+            self._charge_index(stats)
+        for block in self._blocks[start:]:
+            if hi is not None and block.first_key >= hi:
+                return
+            self._charge_data_block(stats, block)
+            for key, value in block.entries:
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key >= hi:
+                    return
+                yield key, value
+
+    def iter_all(self, stats=None):
+        """Full scan of the table."""
+        return self.iter_range(None, None, stats=stats)
+
+    def __repr__(self):
+        return (f"SSTable(id={self.sst_id}, level={self.level}, "
+                f"entries={self.entry_count}, blocks={self.block_count})")

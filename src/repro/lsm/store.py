@@ -1,0 +1,312 @@
+"""The LSM tree: RocksDB-style store built from the pieces in this package.
+
+Provides PUT/DELETE/GET and range/full scans with key- or value-predicates,
+automatic flush of full MemTables to C1, leveled compaction, and read-path
+statistics that the timing model prices (paper §2.2).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import LSMError
+from repro.lsm.compaction import LeveledCompactor
+from repro.lsm.iterator import live_entries, merge_sources
+from repro.lsm.levels import LevelStructure
+from repro.lsm.memtable import TOMBSTONE, MemTable
+from repro.lsm.sstable import SSTableBuilder
+
+
+@dataclass
+class ReadStats:
+    """Physical work done by one read operation (GET or SCAN).
+
+    When ``cache`` is set (a :class:`repro.lsm.cache.BlockCache`), block
+    reads served from the cache increment ``cache_hits`` instead of the
+    I/O counters — the block-cache model of RocksDB/the page cache.
+    """
+
+    memtable_gets: int = 0
+    ssts_considered: int = 0
+    ssts_skipped_fence: int = 0
+    ssts_skipped_bloom: int = 0
+    bloom_probes: int = 0
+    bloom_negatives: int = 0
+    index_blocks_read: int = 0
+    data_blocks_read: int = 0
+    bytes_read: int = 0
+    key_comparisons: int = 0
+    entries_scanned: int = 0
+    cache_hits: int = 0
+    cache: object = field(default=None, compare=False, repr=False)
+
+    def merge(self, other):
+        """Accumulate another stats object into this one."""
+        for name in self.__dataclass_fields__:
+            if name == "cache":
+                continue
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+
+@dataclass
+class _WriteStats:
+    puts: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    bytes_flushed: int = 0
+
+
+@dataclass
+class LSMConfig:
+    """Tuning knobs for one LSM tree."""
+
+    memtable_size: int = 4 * 1024 * 1024
+    block_size: int = 4096
+    max_levels: int = 7
+    level_base_bytes: int = 8 * 1024 * 1024
+    size_ratio: int = 10
+    sst_target_bytes: int = 2 * 1024 * 1024
+    bits_per_key: int = 10
+    auto_compact: bool = True
+    compaction: str = "leveled"     # 'leveled' | 'tiered' (paper §2.2)
+    tiered_fanout: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.compaction not in ("leveled", "tiered"):
+            raise LSMError(
+                f"unknown compaction strategy {self.compaction!r}")
+
+
+class LSMTree:
+    """A single-column-family LSM tree."""
+
+    def __init__(self, name="default", config=None, flash=None):
+        self.name = name
+        self.config = config or LSMConfig()
+        self.flash = flash
+        self._active = MemTable(self.config.memtable_size, seed=self.config.seed)
+        self._immutables = []
+        tiered = self.config.compaction == "tiered"
+        self.levels = LevelStructure(self.config.max_levels, tiered=tiered)
+        if tiered:
+            from repro.lsm.tiered import TieredCompactor
+            self.compactor = TieredCompactor(
+                self.levels,
+                flash=flash,
+                fanout=self.config.tiered_fanout,
+                block_size=self.config.block_size,
+            )
+        else:
+            self.compactor = LeveledCompactor(
+                self.levels,
+                flash=flash,
+                level_base_bytes=self.config.level_base_bytes,
+                size_ratio=self.config.size_ratio,
+                sst_target_bytes=self.config.sst_target_bytes,
+                block_size=self.config.block_size,
+            )
+        self._next_sst_id = 1
+        self.write_stats = _WriteStats()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key, value):
+        """Insert or overwrite ``key`` with ``value`` (both bytes)."""
+        self._active.put(key, value)
+        self.write_stats.puts += 1
+        self._maybe_rotate()
+
+    def delete(self, key):
+        """Delete ``key`` by writing a tombstone."""
+        self._active.delete(key)
+        self.write_stats.deletes += 1
+        self._maybe_rotate()
+
+    def apply_batch(self, batch):
+        """Apply a :class:`WriteBatch` atomically.
+
+        All operations land in the active MemTable before any rotation
+        is considered, so a flush can never split the batch across
+        components (RocksDB's WriteBatch guarantee).
+        """
+        for op, key, value in batch.operations:
+            if op == "put":
+                self._active.put(key, value)
+                self.write_stats.puts += 1
+            else:
+                self._active.delete(key)
+                self.write_stats.deletes += 1
+        self._maybe_rotate()
+
+    def _maybe_rotate(self):
+        if not self._active.is_full():
+            return
+        self._active.freeze()
+        self._immutables.append(self._active)
+        self._active = MemTable(self.config.memtable_size,
+                                seed=self.config.seed + self.write_stats.flushes + 1)
+        self.flush()
+
+    def flush(self):
+        """Flush all immutable MemTables to C1 (no merge, paper §2.2)."""
+        while self._immutables:
+            memtable = self._immutables.pop(0)
+            entries = memtable.entries()
+            if not entries:
+                continue
+            builder = SSTableBuilder(block_size=self.config.block_size,
+                                     bits_per_key=self.config.bits_per_key)
+            for key, value in entries:
+                builder.add(key, value)
+            sst = builder.finish(flash=self.flash, sst_id=self._next_sst_id,
+                                 level=1)
+            self._next_sst_id += 1
+            self.levels.add_to_level(1, sst)
+            self.write_stats.flushes += 1
+            self.write_stats.bytes_flushed += sst.nbytes
+        if self.config.auto_compact:
+            self.compactor.maybe_compact()
+
+    def freeze_and_flush(self):
+        """Force the active MemTable out to C1 (e.g. after bulk load)."""
+        if len(self._active):
+            self._active.freeze()
+            self._immutables.append(self._active)
+            self._active = MemTable(self.config.memtable_size,
+                                    seed=self.config.seed + self.write_stats.flushes + 1)
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def memtable(self):
+        """The active MemTable (C0) — shipped as NDP shared state."""
+        return self._active
+
+    def get(self, key, stats=None):
+        """Point lookup following the C0 -> C1 -> Ck search order."""
+        stats = stats if stats is not None else ReadStats()
+        for memtable in [self._active] + list(reversed(self._immutables)):
+            stats.memtable_gets += 1
+            found, value = memtable.get(key)
+            if found:
+                return value  # may be None for a tombstone
+        for sst in self.levels.candidates_for_key(key):
+            stats.ssts_considered += 1
+            if not sst.might_contain(key, stats):
+                stats.ssts_skipped_bloom += 1
+                continue
+            found, value = sst.get(key, stats)
+            if found:
+                return value
+        return None
+
+    def scan(self, lo=None, hi=None, value_predicate=None, stats=None):
+        """Range scan over [lo, hi) merging all components.
+
+        With a ``value_predicate`` the scan must still touch every entry of
+        the range (the substantial-I/O case NDP targets, paper §2.2); the
+        predicate filters the output stream.
+        """
+        stats = stats if stats is not None else ReadStats()
+        sources = []
+        for memtable in [self._active] + list(reversed(self._immutables)):
+            sources.append(memtable.items(lo=lo, hi=hi))
+        for sst in self.levels.all_ssts():
+            if not sst.overlaps(lo, hi if hi is not None else None):
+                stats.ssts_skipped_fence += 1
+                continue
+            stats.ssts_considered += 1
+            sources.append(sst.iter_range(lo, hi, stats=stats))
+        for key, value in live_entries(merge_sources(sources)):
+            stats.entries_scanned += 1
+            if value_predicate is None or value_predicate(value):
+                yield key, value
+
+    def full_scan(self, value_predicate=None, stats=None):
+        """Scan the whole key space."""
+        return self.scan(None, None, value_predicate=value_predicate,
+                         stats=stats)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entry_count_estimate(self):
+        """Approximate number of live entries (ignores shadowing)."""
+        count = len(self._active) + sum(len(m) for m in self._immutables)
+        count += sum(sst.entry_count for sst in self.levels.all_ssts())
+        return count
+
+    def total_bytes(self):
+        """Bytes held across all on-flash components."""
+        return self.levels.total_bytes()
+
+    def placements(self):
+        """Physical placement of every SST (for the NDP command payload)."""
+        result = []
+        for sst in self.levels.all_ssts():
+            entry = {
+                "sst_id": sst.sst_id,
+                "level": sst.level,
+                "min_key": sst.min_key,
+                "max_key": sst.max_key,
+                "nbytes": sst.nbytes,
+            }
+            if sst.extent is not None and self.flash is not None:
+                entry["extent"] = self.flash.placement_of(sst.extent)
+            result.append(entry)
+        return result
+
+    def read_amplification(self, key):
+        """Number of components a GET for ``key`` may need to touch."""
+        memtables = 1 + len(self._immutables)
+        return memtables + len(self.levels.candidates_for_key(key))
+
+    def __repr__(self):
+        return (f"LSMTree({self.name!r}, memtable={len(self._active)}, "
+                f"ssts={self.levels.sst_count()})")
+
+
+class WriteBatch:
+    """An ordered set of writes applied atomically to one LSM tree.
+
+    >>> batch = WriteBatch()
+    >>> batch.put(b"k1", b"v1").delete(b"k2")     # doctest: +ELLIPSIS
+    <repro.lsm.store.WriteBatch object at ...>
+    """
+
+    def __init__(self):
+        self.operations = []
+
+    def put(self, key, value):
+        """Queue a put; returns self for chaining."""
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise LSMError("batch entries must be bytes")
+        self.operations.append(("put", key, value))
+        return self
+
+    def delete(self, key):
+        """Queue a delete; returns self for chaining."""
+        if not isinstance(key, bytes):
+            raise LSMError("batch keys must be bytes")
+        self.operations.append(("delete", key, None))
+        return self
+
+    def __len__(self):
+        return len(self.operations)
+
+    def clear(self):
+        """Drop all queued operations."""
+        self.operations.clear()
+
+
+def require_bytes(key):
+    """Validate a user-supplied key."""
+    if not isinstance(key, bytes):
+        raise LSMError(f"keys must be bytes, got {type(key)}")
+    return key
+
+
+__all__ = ["LSMTree", "LSMConfig", "ReadStats", "TOMBSTONE", "require_bytes"]

@@ -1,0 +1,46 @@
+"""MySQL-style query stack for the JOB subset.
+
+SQL text -> tokens -> expression AST -> :class:`QuerySpec` (logical) ->
+left-deep :class:`QueryPlan` (physical) via greedy join ordering with
+index-sample statistics, mirroring the MyRocks optimizer behaviour the
+paper builds on.
+"""
+
+from repro.query.ast import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.query.parser import parse_query
+from repro.query.logical import JoinEdge, QuerySpec, analyze
+from repro.query.physical import AccessPath, JoinAlgorithm, QueryPlan, TableAccess
+from repro.query.optimizer import build_plan
+
+__all__ = [
+    "And",
+    "Between",
+    "ColumnRef",
+    "Comparison",
+    "InList",
+    "IsNull",
+    "Like",
+    "Literal",
+    "Not",
+    "Or",
+    "parse_query",
+    "QuerySpec",
+    "JoinEdge",
+    "analyze",
+    "AccessPath",
+    "JoinAlgorithm",
+    "QueryPlan",
+    "TableAccess",
+    "build_plan",
+]

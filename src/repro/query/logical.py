@@ -1,0 +1,213 @@
+"""Logical analysis: from a parsed query to a :class:`QuerySpec`.
+
+Binds unqualified columns to their tables, splits the WHERE conjunction
+into per-table filters, equi-join edges, and residual predicates (e.g. OR
+terms spanning several tables), and derives the per-table projection —
+the columns that must survive each table's early projection.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.query.ast import (ColumnRef, Comparison, conjuncts, make_and)
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join condition ``left_alias.left_col = right_alias.right_col``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def touches(self, alias):
+        """Whether this edge involves the alias."""
+        return alias in (self.left_alias, self.right_alias)
+
+    def other(self, alias):
+        """(alias, column) of the end that is not ``alias``."""
+        if alias == self.left_alias:
+            return self.right_alias, self.right_column
+        if alias == self.right_alias:
+            return self.left_alias, self.left_column
+        raise PlanError(f"edge {self} does not touch {alias}")
+
+    def column_of(self, alias):
+        """Column name on the given side."""
+        if alias == self.left_alias:
+            return self.left_column
+        if alias == self.right_alias:
+            return self.right_column
+        raise PlanError(f"edge {self} does not touch {alias}")
+
+    def __str__(self):
+        return (f"{self.left_alias}.{self.left_column} = "
+                f"{self.right_alias}.{self.right_column}")
+
+
+@dataclass
+class QuerySpec:
+    """A fully analysed query, ready for join ordering."""
+
+    sql: str
+    select_items: list
+    tables: dict                      # alias -> table name
+    filters: dict                     # alias -> Expr or None
+    join_edges: list                  # [JoinEdge]
+    residual: object                  # Expr spanning >1 table, or None
+    group_by: list
+    limit: int
+    projections: dict = field(default_factory=dict)  # alias -> [columns]
+
+    @property
+    def aliases(self):
+        """All table aliases in FROM order."""
+        return list(self.tables)
+
+    @property
+    def table_count(self):
+        """Number of tables joined."""
+        return len(self.tables)
+
+    def edges_for(self, alias):
+        """Join edges touching one alias."""
+        return [edge for edge in self.join_edges if edge.touches(alias)]
+
+    def filter_for(self, alias):
+        """The conjunction of single-table predicates for one alias."""
+        return self.filters.get(alias)
+
+
+def _bind(expr, alias_columns):
+    """Qualify unqualified ColumnRefs; returns a rewritten expression."""
+    if isinstance(expr, ColumnRef):
+        if expr.alias:
+            return expr
+        owners = [alias for alias, columns in alias_columns.items()
+                  if expr.column in columns]
+        if not owners:
+            raise PlanError(f"unknown column {expr.column!r}")
+        if len(owners) > 1:
+            raise PlanError(
+                f"ambiguous column {expr.column!r} (in {sorted(owners)})")
+        return ColumnRef(owners[0], expr.column)
+    # Rebuild container nodes generically.
+    from repro.query import ast as _ast
+    if isinstance(expr, _ast.Comparison):
+        return _ast.Comparison(expr.op, _bind(expr.left, alias_columns),
+                               _bind(expr.right, alias_columns))
+    if isinstance(expr, _ast.Like):
+        return _ast.Like(_bind(expr.operand, alias_columns), expr.pattern,
+                         expr.negated)
+    if isinstance(expr, _ast.InList):
+        return _ast.InList(_bind(expr.operand, alias_columns), expr.values,
+                           expr.negated)
+    if isinstance(expr, _ast.Between):
+        return _ast.Between(_bind(expr.operand, alias_columns),
+                            _bind(expr.low, alias_columns),
+                            _bind(expr.high, alias_columns))
+    if isinstance(expr, _ast.IsNull):
+        return _ast.IsNull(_bind(expr.operand, alias_columns), expr.negated)
+    if isinstance(expr, _ast.And):
+        return _ast.And(tuple(_bind(i, alias_columns) for i in expr.items))
+    if isinstance(expr, _ast.Or):
+        return _ast.Or(tuple(_bind(i, alias_columns) for i in expr.items))
+    if isinstance(expr, _ast.Not):
+        return _ast.Not(_bind(expr.operand, alias_columns))
+    if isinstance(expr, _ast.Literal):
+        return expr
+    raise PlanError(f"cannot bind expression of type {type(expr)}")
+
+
+def _is_join_conjunct(conjunct):
+    """Detects ``a.x = b.y`` with distinct aliases."""
+    return (isinstance(conjunct, Comparison) and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+            and conjunct.left.alias != conjunct.right.alias)
+
+
+def analyze(parsed, catalog, sql=""):
+    """Turn a :class:`ParsedQuery` into a :class:`QuerySpec`.
+
+    ``catalog`` resolves table schemas so unqualified columns can be
+    bound and per-table projections computed.
+    """
+    tables = {}
+    alias_columns = {}
+    for name, alias in parsed.tables:
+        if alias in tables:
+            raise PlanError(f"duplicate alias {alias!r}")
+        table = catalog.table(name)
+        tables[alias] = name
+        alias_columns[alias] = set(table.schema.column_names)
+
+    where = parsed.where
+    if where is not None:
+        where = _bind(where, alias_columns)
+
+    select_items = []
+    for item in parsed.select_items:
+        if item.expr == "*":
+            select_items.append(item)
+            continue
+        bound = _bind(item.expr, alias_columns)
+        item.expr = bound
+        select_items.append(item)
+
+    group_by = [_bind(col, alias_columns) for col in parsed.group_by]
+
+    filters = {alias: [] for alias in tables}
+    join_edges = []
+    residual = []
+    for conjunct in conjuncts(where):
+        if _is_join_conjunct(conjunct):
+            join_edges.append(JoinEdge(
+                conjunct.left.alias, conjunct.left.column,
+                conjunct.right.alias, conjunct.right.column))
+            continue
+        aliases = conjunct.aliases()
+        if len(aliases) == 1:
+            filters[next(iter(aliases))].append(conjunct)
+        elif len(aliases) == 0:
+            residual.append(conjunct)   # constant predicate
+        else:
+            residual.append(conjunct)
+
+    spec = QuerySpec(
+        sql=sql,
+        select_items=select_items,
+        tables=tables,
+        filters={alias: make_and(items) for alias, items in filters.items()},
+        join_edges=join_edges,
+        residual=make_and(residual),
+        group_by=group_by,
+        limit=parsed.limit,
+    )
+    spec.projections = _projections(spec, catalog)
+    return spec
+
+
+def _projections(spec, catalog):
+    """Columns each table must deliver (SELECT + joins + residual)."""
+    needed = {alias: set() for alias in spec.tables}
+    for item in spec.select_items:
+        if item.expr == "*":
+            for alias, name in spec.tables.items():
+                needed[alias].update(
+                    catalog.table(name).schema.column_names)
+            continue
+        ref = item.expr
+        needed[ref.alias].add(ref.column)
+    for edge in spec.join_edges:
+        needed[edge.left_alias].add(edge.left_column)
+        needed[edge.right_alias].add(edge.right_column)
+    if spec.residual is not None:
+        for ref in spec.residual.column_refs():
+            needed[ref.alias].add(ref.column)
+    for col in spec.group_by:
+        needed[col.alias].add(col.column)
+    # Filters are applied before projection, but a filtered column still
+    # has to be read; it does not have to be *shipped* unless needed above.
+    return {alias: sorted(columns) for alias, columns in needed.items()}

@@ -1,0 +1,148 @@
+"""The baseline optimizer: SQL -> left-deep physical plan.
+
+Combines parsing, logical analysis, join ordering, access-path selection
+and join-algorithm selection.  hybridNDP (repro.core) then extends the
+resulting plan with offloading decisions; this module is deliberately the
+"vanilla MyRocks" part of the stack.
+"""
+
+from repro.errors import PlanError
+from repro.query.ast import ColumnRef, Comparison, InList, conjuncts
+from repro.query.join_order import (filtered_cardinality, join_selectivity,
+                                    order_tables)
+from repro.query.logical import analyze
+from repro.query.parser import parse_query
+from repro.query.physical import (AccessPath, JoinAlgorithm, QueryPlan,
+                                  TableAccess)
+
+
+def _equality_constant_columns(expr, alias):
+    """Columns of ``alias`` constrained by ``col = const`` (or small IN)."""
+    columns = []
+    for conjunct in conjuncts(expr):
+        if (isinstance(conjunct, Comparison) and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and conjunct.left.alias == alias
+                and not conjunct.right.column_refs()):
+            columns.append(conjunct.left.column)
+        elif (isinstance(conjunct, InList) and not conjunct.negated
+                and isinstance(conjunct.operand, ColumnRef)
+                and conjunct.operand.alias == alias
+                and len(conjunct.values) <= 8):
+            columns.append(conjunct.operand.column)
+    return columns
+
+
+def _choose_access_path(table, local_filter, alias):
+    """Pick FULL_SCAN / PK_RANGE / SECONDARY_LOOKUP for a driving table."""
+    if local_filter is None:
+        return AccessPath.FULL_SCAN, None
+    eq_columns = _equality_constant_columns(local_filter, alias)
+    for column in eq_columns:
+        if column in table.indexes:
+            return AccessPath.SECONDARY_LOOKUP, column
+    pk = table.schema.primary_key
+    for conjunct in conjuncts(local_filter):
+        refs = conjunct.column_refs()
+        if (len(refs) == 1 and refs[0].column == pk
+                and isinstance(conjunct, Comparison)):
+            return AccessPath.PK_RANGE, pk
+    return AccessPath.FULL_SCAN, None
+
+
+def build_plan(sql_or_spec, catalog):
+    """Build a physical plan from SQL text or an analysed QuerySpec."""
+    if isinstance(sql_or_spec, str):
+        parsed = parse_query(sql_or_spec)
+        spec = analyze(parsed, catalog, sql=sql_or_spec)
+    else:
+        spec = sql_or_spec
+
+    order, base_cards, cumulative = order_tables(spec, catalog)
+
+    entries = []
+    placed = []
+    for position, alias in enumerate(order):
+        table = catalog.table(spec.tables[alias])
+        local_filter = spec.filter_for(alias)
+        selectivity, rows = filtered_cardinality(spec, catalog, alias)
+        projection = spec.projections.get(alias, [])
+        entry = TableAccess(
+            alias=alias,
+            table_name=table.name,
+            local_filter=local_filter,
+            projection=projection,
+            estimated_selectivity=selectivity,
+            estimated_rows=rows,
+            estimated_output_rows=cumulative[position],
+            table_rows=max(1, table.row_count),
+            record_bytes=table.record_bytes,
+            projection_bytes=table.schema.projection_bytes(projection),
+            field_count=table.schema.field_count,
+            projection_field_count=len(projection),
+        )
+        if position == 0:
+            path, index_column = _choose_access_path(
+                table, local_filter, alias)
+            entry.access_path = path
+            entry.index_column = index_column
+        else:
+            edges = [edge for edge in spec.join_edges
+                     if edge.touches(alias)
+                     and edge.other(alias)[0] in placed]
+            if not edges:
+                entry.join_algorithm = JoinAlgorithm.BNLJ
+            else:
+                entry.join_edges = edges
+                index_column = _indexed_join_column(table, edges, alias)
+                if index_column is not None:
+                    entry.join_algorithm = JoinAlgorithm.BNLJI
+                    entry.index_column = index_column
+                    entry.access_path = (
+                        AccessPath.PK_RANGE
+                        if index_column == table.schema.primary_key
+                        else AccessPath.SECONDARY_LOOKUP)
+                else:
+                    entry.join_algorithm = JoinAlgorithm.BNLJ
+                    # A local equality filter on an indexed column still
+                    # narrows the scan used to build the join side.
+                    path, filter_index = _choose_access_path(
+                        table, local_filter, alias)
+                    entry.access_path = path
+                    if filter_index is not None:
+                        entry.index_column = filter_index
+        entries.append(entry)
+        placed.append(alias)
+
+    return QueryPlan(
+        spec=spec,
+        entries=entries,
+        residual=spec.residual,
+        group_by=spec.group_by,
+        select_items=spec.select_items,
+        limit=spec.limit,
+    )
+
+
+def _indexed_join_column(table, edges, alias):
+    """A join column of ``alias`` backed by the PK or a secondary index."""
+    for edge in edges:
+        column = edge.column_of(alias)
+        if column == table.schema.primary_key:
+            return column
+    for edge in edges:
+        column = edge.column_of(alias)
+        if column in table.indexes:
+            return column
+    return None
+
+
+def estimate_join_output(spec, catalog, prefix_rows, entry):
+    """Cardinality after joining the prefix with one more entry."""
+    rows = prefix_rows * entry.estimated_rows
+    for edge in entry.join_edges:
+        rows *= join_selectivity(spec, catalog, edge)
+    return max(1, int(round(rows)))
+
+
+__all__ = ["build_plan", "estimate_join_output"]

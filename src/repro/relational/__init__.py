@@ -1,0 +1,29 @@
+"""MyRocks-style relational layer over the KV substrate.
+
+Tables map to column families; secondary indexes are separate column
+families whose keys combine the secondary value with the primary key
+(paper §2.2).  Records use the paper's modified-JOB encoding: 4-byte
+integers, fixed-size padded/trimmed character values, 4-byte alignment
+(§5, Workloads).  Index-sample statistics drive selectivity estimation the
+way MySQL/MyRocks does.
+"""
+
+from repro.relational.schema import Column, DataType, TableSchema
+from repro.relational.encoding import RecordCodec, decode_key, encode_key
+from repro.relational.table import RelationalTable, SecondaryIndex
+from repro.relational.catalog import Catalog
+from repro.relational.statistics import ColumnStats, TableStatistics
+
+__all__ = [
+    "Column",
+    "DataType",
+    "TableSchema",
+    "RecordCodec",
+    "encode_key",
+    "decode_key",
+    "RelationalTable",
+    "SecondaryIndex",
+    "Catalog",
+    "ColumnStats",
+    "TableStatistics",
+]

@@ -1,0 +1,55 @@
+"""The catalog: all tables of one database instance."""
+
+from repro.errors import CatalogError
+from repro.relational.table import RelationalTable
+
+
+class Catalog:
+    """Creates and resolves relational tables over one KV database."""
+
+    def __init__(self, database):
+        self.database = database
+        self._tables = {}
+
+    def create_table(self, schema):
+        """Create a table (and its index column families) from a schema."""
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = RelationalTable(schema, self.database,
+                                stats_seed=len(self._tables))
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name):
+        """Resolve a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def __contains__(self, name):
+        return name in self._tables
+
+    def tables(self):
+        """All tables."""
+        return list(self._tables.values())
+
+    def table_names(self):
+        """All table names."""
+        return list(self._tables)
+
+    def flush_all(self):
+        """Flush every table (bulk-load epilogue)."""
+        for table in self._tables.values():
+            table.flush()
+
+    def total_rows(self):
+        """Total row count across tables."""
+        return sum(table.row_count for table in self._tables.values())
+
+    def total_bytes(self):
+        """Total data bytes across tables (excluding indexes)."""
+        return sum(table.total_bytes for table in self._tables.values())
+
+    def __repr__(self):
+        return f"Catalog(tables={sorted(self._tables)})"

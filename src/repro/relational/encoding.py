@@ -1,0 +1,169 @@
+"""Record and key codecs.
+
+Records are fixed-width: a 4-byte-aligned null bitmap followed by every
+column at its aligned storage width (INTs little-endian, CHARs padded with
+spaces / trimmed to the declared width, mirroring the paper's JOB
+modification).  Keys are order-preserving big-endian encodings so that
+``memcmp`` order over the LSM tree equals value order.
+"""
+
+import struct
+
+from repro.errors import SchemaError
+from repro.relational.schema import DataType
+
+_ALIGNMENT = 4
+_INT_MIN = -(2 ** 31)
+_INT_MAX = 2 ** 31 - 1
+_KEY_BIAS = 2 ** 63
+
+
+def encode_key(value, width=None):
+    """Order-preserving key encoding for INT or CHAR values.
+
+    Integers become biased 8-byte big-endian so signed order matches byte
+    order; strings are padded to ``width`` so prefixes do not interleave.
+    """
+    if isinstance(value, int):
+        return struct.pack(">Q", value + _KEY_BIAS)
+    if isinstance(value, str):
+        raw = value.encode("utf-8", errors="replace")
+        if width is not None:
+            raw = raw[:width].ljust(width, b" ")
+        return raw
+    if isinstance(value, bytes):
+        return value
+    raise SchemaError(f"cannot encode key of type {type(value)}")
+
+
+def decode_key(raw):
+    """Decode an integer key produced by :func:`encode_key`."""
+    if len(raw) != 8:
+        raise SchemaError(f"integer keys are 8 bytes, got {len(raw)}")
+    return struct.unpack(">Q", raw)[0] - _KEY_BIAS
+
+
+def composite_key(secondary_raw, primary_raw):
+    """Secondary-index key: secondary value bytes + primary key bytes."""
+    return secondary_raw + primary_raw
+
+
+def split_composite_key(raw):
+    """Inverse of :func:`composite_key` (primary part is the last 8 bytes)."""
+    if len(raw) < 8:
+        raise SchemaError("composite key too short")
+    return raw[:-8], raw[-8:]
+
+
+class RecordCodec:
+    """Encodes/decodes full records for one table schema."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        bitmap = (len(schema.columns) + 7) // 8
+        self._bitmap_bytes = (bitmap + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+        self._offsets = []
+        offset = self._bitmap_bytes
+        for column in schema.columns:
+            self._offsets.append(offset)
+            offset += column.storage_width
+        self._record_bytes = offset
+        self._projectors = {}
+
+    @property
+    def record_bytes(self):
+        """Fixed encoded size of one record."""
+        return self._record_bytes
+
+    def encode(self, row):
+        """Encode a mapping of column name -> value into record bytes."""
+        schema = self.schema
+        buffer = bytearray(self._record_bytes)
+        for i, column in enumerate(schema.columns):
+            value = row.get(column.name)
+            if value is None:
+                if not column.nullable:
+                    raise SchemaError(
+                        f"{schema.name}.{column.name} is NOT NULL")
+                buffer[i // 8] |= 1 << (i % 8)
+                continue
+            offset = self._offsets[i]
+            if column.dtype is DataType.INT:
+                if not isinstance(value, int):
+                    raise SchemaError(
+                        f"{schema.name}.{column.name}: expected int, "
+                        f"got {type(value)}")
+                if not _INT_MIN <= value <= _INT_MAX:
+                    raise SchemaError(
+                        f"{schema.name}.{column.name}: {value} out of "
+                        f"4-byte range")
+                struct.pack_into("<i", buffer, offset, value)
+            else:
+                if not isinstance(value, str):
+                    raise SchemaError(
+                        f"{schema.name}.{column.name}: expected str, "
+                        f"got {type(value)}")
+                raw = value.encode("utf-8", errors="replace")
+                raw = raw[:column.width].ljust(column.width, b" ")
+                buffer[offset:offset + len(raw)] = raw
+        return bytes(buffer)
+
+    def decode(self, raw):
+        """Decode record bytes into a dict of column name -> value."""
+        if len(raw) != self._record_bytes:
+            raise SchemaError(
+                f"{self.schema.name}: record is {len(raw)} bytes, "
+                f"expected {self._record_bytes}")
+        row = {}
+        for i, column in enumerate(self.schema.columns):
+            if raw[i // 8] & (1 << (i % 8)):
+                row[column.name] = None
+                continue
+            offset = self._offsets[i]
+            if column.dtype is DataType.INT:
+                row[column.name] = struct.unpack_from("<i", raw, offset)[0]
+            else:
+                text = raw[offset:offset + column.width]
+                row[column.name] = text.decode("utf-8",
+                                               errors="replace").rstrip(" ")
+        return row
+
+    def decode_columns(self, raw, column_names):
+        """Decode only the named columns (projection pushdown)."""
+        return self.projector(column_names)(raw)
+
+    def projector(self, column_names, qualified_prefix=None):
+        """A compiled partial decoder for the named columns.
+
+        The returned closure decodes one record's bytes into a dict; with
+        ``qualified_prefix`` the keys are ``prefix.column`` (the form the
+        execution pipeline uses).  Projectors are cached per column set.
+        """
+        cache_key = (tuple(column_names), qualified_prefix)
+        cached = self._projectors.get(cache_key)
+        if cached is not None:
+            return cached
+        plan = []
+        for name in column_names:
+            i = self.schema.column_index(name)
+            column = self.schema.columns[i]
+            out_name = (f"{qualified_prefix}.{name}"
+                        if qualified_prefix else name)
+            plan.append((out_name, i >> 3, 1 << (i & 7), self._offsets[i],
+                         column.dtype is DataType.INT, column.width))
+        unpack = struct.unpack_from
+
+        def project(raw):
+            row = {}
+            for out_name, byte, bit, offset, is_int, width in plan:
+                if raw[byte] & bit:
+                    row[out_name] = None
+                elif is_int:
+                    row[out_name] = unpack("<i", raw, offset)[0]
+                else:
+                    row[out_name] = raw[offset:offset + width].decode(
+                        "utf-8", errors="replace").rstrip(" ")
+            return row
+
+        self._projectors[cache_key] = project
+        return project

@@ -1,0 +1,140 @@
+"""Snapshot-consistent table reads for on-device execution.
+
+The NDP engine must not read the live LSM trees: nKV's update-aware NDP
+(§2.1) pins the database state at invocation time via the shared-state
+snapshot.  :class:`SnapshotTable` mirrors the read API of
+:class:`~repro.relational.table.RelationalTable` but resolves every
+access through :class:`~repro.lsm.snapshot.SnapshotView`s, so host
+writes issued after the NDP command was prepared are invisible to the
+device — and unflushed MemTable updates shipped with the command are
+visible.
+"""
+
+from repro.errors import CatalogError
+from repro.lsm.store import ReadStats
+from repro.relational.encoding import encode_key, split_composite_key
+from repro.relational.schema import DataType
+
+
+class SnapshotTable:
+    """Read-only view of one table pinned to a shared-state snapshot."""
+
+    def __init__(self, table, shared_state, use_bloom_filters=False):
+        self.schema = table.schema
+        self.codec = table.codec
+        self.statistics = table.statistics
+        self._table = table
+        self._primary = shared_state.view(
+            table.family.name, use_bloom_filters=use_bloom_filters)
+        self._indexes = {}
+        for column_name, index in table.indexes.items():
+            try:
+                self._indexes[column_name] = (
+                    index.column,
+                    shared_state.view(
+                        index.name, use_bloom_filters=use_bloom_filters))
+            except KeyError:
+                continue   # index CF not captured -> not usable on device
+
+    @property
+    def name(self):
+        """Table name."""
+        return self.schema.name
+
+    # ------------------------------------------------------------------
+    # Read API (mirrors RelationalTable)
+    # ------------------------------------------------------------------
+    def _decoder(self, columns, qualified_as):
+        if columns is None and qualified_as is None:
+            return self.codec.decode
+        names = columns if columns is not None else self.schema.column_names
+        return self.codec.projector(names, qualified_prefix=qualified_as)
+
+    def get_by_pk(self, pk_value, stats=None, columns=None,
+                  qualified_as=None):
+        """Point lookup by primary key against the snapshot."""
+        raw = self._primary.get(encode_key(pk_value), stats=stats)
+        if raw is None:
+            return None
+        return self._decoder(columns, qualified_as)(raw)
+
+    def get_by_pk_raw(self, raw_key, stats=None, columns=None,
+                      qualified_as=None):
+        """Point lookup by encoded primary key."""
+        raw = self._primary.get(raw_key, stats=stats)
+        if raw is None:
+            return None
+        return self._decoder(columns, qualified_as)(raw)
+
+    def scan(self, predicate=None, projection=None, stats=None,
+             pk_lo=None, pk_hi=None, columns=None, qualified_as=None):
+        """Full or PK-range scan over the snapshot."""
+        stats = stats if stats is not None else ReadStats()
+        lo = None if pk_lo is None else encode_key(pk_lo)
+        hi = None if pk_hi is None else encode_key(pk_hi + 1)
+        decode = self._decoder(columns, qualified_as)
+        for _key, raw in self._primary.scan(lo=lo, hi=hi, stats=stats):
+            row = decode(raw)
+            if predicate is not None and not predicate(row):
+                continue
+            if projection is not None:
+                row = {name: row.get(name) for name in projection}
+            yield row
+
+    def index_lookup(self, column_name, value, stats=None, columns=None,
+                     qualified_as=None):
+        """Secondary-index lookup through the snapshot (paper Fig 9).
+
+        The secondary LSM view yields primary keys, which are then
+        sought in the primary snapshot view — the on-device
+        secondary-index flow.
+        """
+        try:
+            column, view = self._indexes[column_name]
+        except KeyError:
+            raise CatalogError(
+                f"{self.name}: no snapshotted index on {column_name!r}"
+            ) from None
+        stats = stats if stats is not None else ReadStats()
+        width = column.width if column.dtype is DataType.CHAR else None
+        prefix = encode_key(value, width)
+        hi = prefix + b"\xff" * 9
+        decode = self._decoder(columns, qualified_as)
+        for key, _empty in view.scan(lo=prefix, hi=hi, stats=stats):
+            secondary_raw, primary_raw = split_composite_key(key)
+            if secondary_raw != prefix:
+                continue
+            raw = self._primary.get(primary_raw, stats=stats)
+            if raw is not None:
+                yield decode(raw)
+
+    def has_index_on(self, column_name):
+        """Whether the snapshot carries an index on the column."""
+        return (column_name == self.schema.primary_key
+                or column_name in self._indexes)
+
+
+class SnapshotCatalog:
+    """Catalog facade resolving tables to snapshot views.
+
+    The device pipeline only touches the tables named by its command;
+    resolving anything else is an error (the command did not ship state
+    for it — execution would not be intervention-free).
+    """
+
+    def __init__(self, catalog, shared_state, table_names,
+                 use_bloom_filters=False):
+        self._tables = {}
+        for name in table_names:
+            self._tables[name] = SnapshotTable(
+                catalog.table(name), shared_state,
+                use_bloom_filters=use_bloom_filters)
+
+    def table(self, name):
+        """Resolve a snapshotted table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {name!r} is not part of the NDP command's "
+                f"shared state") from None

@@ -1,0 +1,259 @@
+"""Relational tables over column families, with secondary indexes.
+
+The primary index stores ``encode_key(pk) -> record bytes`` in the table's
+own column family.  Each secondary index is a *separate* column family
+whose keys concatenate the encoded secondary value with the primary key
+and whose values are empty (metadata only): a lookup first walks the
+secondary LSM tree, extracts primary keys, and then seeks each of them in
+the primary LSM tree — exactly the MyRocks double-lookup (paper §2.2).
+"""
+
+from repro.errors import CatalogError, SchemaError
+from repro.lsm.store import ReadStats
+from repro.relational.encoding import (RecordCodec, composite_key, encode_key,
+                                       split_composite_key)
+from repro.relational.schema import DataType
+from repro.relational.statistics import TableStatistics
+
+
+class SecondaryIndex:
+    """A secondary index over one column, stored in its own CF."""
+
+    def __init__(self, table_name, column, family):
+        self.table_name = table_name
+        self.column = column
+        self.family = family
+
+    @property
+    def name(self):
+        """Index (and column-family) name."""
+        return self.family.name
+
+    def _value_key(self, value):
+        width = self.column.width if self.column.dtype is DataType.CHAR else None
+        return encode_key(value, width)
+
+    def insert(self, value, primary_raw):
+        """Index a (secondary value, primary key) pair; NULLs are skipped."""
+        if value is None:
+            return
+        self.family.put(composite_key(self._value_key(value), primary_raw),
+                        b"")
+
+    def delete(self, value, primary_raw):
+        """Remove an index entry."""
+        if value is None:
+            return
+        self.family.delete(
+            composite_key(self._value_key(value), primary_raw))
+
+    def primary_keys_for(self, value, stats=None):
+        """All primary keys whose row has ``column == value``."""
+        prefix = self._value_key(value)
+        hi = prefix + b"\xff" * 9
+        for key, _empty in self.family.scan(lo=prefix, hi=hi, stats=stats):
+            secondary_raw, primary_raw = split_composite_key(key)
+            if secondary_raw == prefix:
+                yield primary_raw
+
+    def primary_keys_in_range(self, lo=None, hi=None, stats=None):
+        """Primary keys for secondary values in [lo, hi]."""
+        lo_raw = None if lo is None else self._value_key(lo)
+        hi_raw = None if hi is None else self._value_key(hi) + b"\xff" * 9
+        for key, _empty in self.family.scan(lo=lo_raw, hi=hi_raw, stats=stats):
+            _secondary, primary_raw = split_composite_key(key)
+            yield primary_raw
+
+
+class RelationalTable:
+    """A table stored in a column family, with optional secondary indexes."""
+
+    def __init__(self, schema, database, stats_seed=0):
+        self.schema = schema
+        self.codec = RecordCodec(schema)
+        self._database = database
+        self.family = database.create_column_family(schema.name)
+        self.statistics = TableStatistics(schema.name, seed=stats_seed)
+        self.indexes = {}
+        for column_name in schema.secondary_indexes:
+            column = schema.column(column_name)
+            family = database.create_column_family(
+                f"{schema.name}.idx_{column_name}")
+            self.indexes[column_name] = SecondaryIndex(
+                schema.name, column, family)
+
+    @property
+    def name(self):
+        """Table name."""
+        return self.schema.name
+
+    @property
+    def row_count(self):
+        """Number of rows inserted."""
+        return self.statistics.row_count
+
+    def column_families(self):
+        """Names of every CF this table owns (primary + indexes)."""
+        return [self.family.name] + [ix.name for ix in self.indexes.values()]
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def primary_key_bytes(self, pk_value):
+        """Encoded primary key for a value."""
+        return encode_key(pk_value)
+
+    def insert(self, row):
+        """Insert a row (mapping of column name -> value)."""
+        pk_value = row.get(self.schema.primary_key)
+        if pk_value is None:
+            raise SchemaError(
+                f"{self.name}: primary key {self.schema.primary_key!r} "
+                f"must be set")
+        raw_key = self.primary_key_bytes(pk_value)
+        raw_record = self.codec.encode(row)
+        self.family.put(raw_key, raw_record)
+        for column_name, index in self.indexes.items():
+            index.insert(row.get(column_name), raw_key)
+        self.statistics.observe_row(row)
+
+    def insert_many(self, rows):
+        """Bulk insert."""
+        for row in rows:
+            self.insert(row)
+
+    def delete(self, pk_value):
+        """Delete by primary key (also cleans secondary indexes)."""
+        raw_key = self.primary_key_bytes(pk_value)
+        row = self.get_by_pk(pk_value)
+        if row is None:
+            return False
+        self.family.delete(raw_key)
+        for column_name, index in self.indexes.items():
+            index.delete(row.get(column_name), raw_key)
+        return True
+
+    def update(self, pk_value, changes):
+        """Update columns of one row; maintains secondary indexes.
+
+        Returns the new row, or None when the primary key is absent.
+        Changing the primary key itself is rejected.
+        """
+        if self.schema.primary_key in changes:
+            raise SchemaError(
+                f"{self.name}: cannot update the primary key")
+        old_row = self.get_by_pk(pk_value)
+        if old_row is None:
+            return None
+        new_row = dict(old_row)
+        for name, value in changes.items():
+            self.schema.column(name)     # validates the column exists
+            new_row[name] = value
+        raw_key = self.primary_key_bytes(pk_value)
+        self.family.put(raw_key, self.codec.encode(new_row))
+        for column_name, index in self.indexes.items():
+            old_value = old_row.get(column_name)
+            new_value = new_row.get(column_name)
+            if old_value != new_value:
+                index.delete(old_value, raw_key)
+                index.insert(new_value, raw_key)
+        return new_row
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _decoder(self, columns, qualified_as):
+        if columns is None and qualified_as is None:
+            return self.codec.decode
+        names = columns if columns is not None else self.schema.column_names
+        return self.codec.projector(names, qualified_prefix=qualified_as)
+
+    def get_by_pk(self, pk_value, stats=None, columns=None,
+                  qualified_as=None):
+        """Fetch one row by primary key, or None.
+
+        ``columns`` limits decoding to the named columns (projection
+        pushdown; the record is still read in full from storage).
+        ``qualified_as`` emits ``alias.column`` keys for the executor.
+        """
+        raw = self.family.get(self.primary_key_bytes(pk_value), stats=stats)
+        if raw is None:
+            return None
+        return self._decoder(columns, qualified_as)(raw)
+
+    def get_by_pk_raw(self, raw_key, stats=None, columns=None,
+                      qualified_as=None):
+        """Fetch one row by its already-encoded primary key."""
+        raw = self.family.get(raw_key, stats=stats)
+        if raw is None:
+            return None
+        return self._decoder(columns, qualified_as)(raw)
+
+    def scan(self, predicate=None, projection=None, stats=None,
+             pk_lo=None, pk_hi=None, columns=None, qualified_as=None):
+        """Full or PK-range scan; yields decoded rows.
+
+        ``predicate`` filters decoded rows; ``projection`` limits the
+        *output* columns, ``columns`` limits *decoding* (it must cover
+        the projection and every predicate column).  Either way the
+        record is read in full from storage — projection saves
+        downstream bytes, not I/O, matching the paper's model.
+        """
+        stats = stats if stats is not None else ReadStats()
+        lo = None if pk_lo is None else encode_key(pk_lo)
+        hi = None if pk_hi is None else encode_key(pk_hi + 1)
+        decode = self._decoder(columns, qualified_as)
+        for _key, raw in self.family.scan(lo=lo, hi=hi, stats=stats):
+            row = decode(raw)
+            if predicate is not None and not predicate(row):
+                continue
+            if projection is not None:
+                row = {name: row.get(name) for name in projection}
+            yield row
+
+    def index_lookup(self, column_name, value, stats=None, columns=None,
+                     qualified_as=None):
+        """Rows with ``column == value`` via the secondary index."""
+        index = self.index_on(column_name)
+        decode = self._decoder(columns, qualified_as)
+        for primary_raw in index.primary_keys_for(value, stats=stats):
+            raw = self.family.get(primary_raw, stats=stats)
+            if raw is not None:
+                yield decode(raw)
+
+    def index_on(self, column_name):
+        """The secondary index over a column; raises when absent."""
+        try:
+            return self.indexes[column_name]
+        except KeyError:
+            raise CatalogError(
+                f"{self.name}: no secondary index on {column_name!r}"
+            ) from None
+
+    def has_index_on(self, column_name):
+        """Whether a secondary index exists on the column."""
+        return (column_name == self.schema.primary_key
+                or column_name in self.indexes)
+
+    # ------------------------------------------------------------------
+    # Cost-model inputs
+    # ------------------------------------------------------------------
+    @property
+    def record_bytes(self):
+        """Bytes of one encoded record (tbl_tbn per row)."""
+        return self.codec.record_bytes
+
+    @property
+    def total_bytes(self):
+        """Approximate total table bytes (tbl_tbn)."""
+        return self.row_count * self.record_bytes
+
+    def flush(self):
+        """Flush the primary and all index column families."""
+        self.family.tree.freeze_and_flush()
+        for index in self.indexes.values():
+            index.family.tree.freeze_and_flush()
+
+    def __repr__(self):
+        return (f"RelationalTable({self.name!r}, rows={self.row_count}, "
+                f"indexes={sorted(self.indexes)})")

@@ -1,0 +1,13 @@
+"""Deterministic simulated-time kernel.
+
+The cooperative execution model (paper §4) overlaps host and device work.
+Rather than measuring Python wall-clock time (which cannot reflect the
+COSMOS+ / host hardware gap), execution engines count physical work and the
+kernel here advances a simulated clock.  Everything is deterministic.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventLoop
+from repro.sim.resources import BusyResource
+
+__all__ = ["SimClock", "Event", "EventLoop", "BusyResource"]

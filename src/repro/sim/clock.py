@@ -1,0 +1,50 @@
+"""Simulated clock.
+
+All simulated durations in this package are expressed in *seconds* as
+floats.  The clock is monotonic: it can only be advanced, never rewound.
+"""
+
+from repro.errors import ReproError
+
+
+class SimClock:
+    """A monotonic simulated clock.
+
+    >>> clock = SimClock()
+    >>> clock.advance(1.5)
+    1.5
+    >>> clock.advance_to(2.0)
+    2.0
+    >>> clock.now
+    2.0
+    """
+
+    def __init__(self, start=0.0):
+        if start < 0:
+            raise ReproError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta):
+        """Advance the clock by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ReproError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp):
+        """Advance the clock to ``timestamp``; no-op if already past it."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def reset(self):
+        """Reset the clock to time zero."""
+        self._now = 0.0
+
+    def __repr__(self):
+        return f"SimClock(now={self._now:.9f})"

@@ -1,0 +1,80 @@
+"""A small discrete-event loop.
+
+Used by the cooperative executor to interleave host- and device-side
+progress.  Events fire in timestamp order; ties break by insertion order so
+runs are fully deterministic.
+"""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass(order=True)
+class Event:
+    """An event scheduled at a simulated timestamp."""
+
+    time: float
+    seq: int
+    action: object = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventLoop:
+    """Timestamp-ordered event loop over a shared :class:`SimClock`.
+
+    Actions are callables invoked with no arguments; they may schedule
+    further events.  ``run()`` drains the queue and returns the final time.
+    """
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._queue = []
+        self._counter = itertools.count()
+        self._fired = 0
+
+    @property
+    def fired(self):
+        """Number of events executed so far."""
+        return self._fired
+
+    @property
+    def pending(self):
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule_at(self, time, action, label=""):
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < self._clock.now:
+            raise ReproError(
+                f"cannot schedule event at {time} before now={self._clock.now}"
+            )
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay, action, label=""):
+        """Schedule ``action`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ReproError(f"negative delay {delay}")
+        return self.schedule_at(self._clock.now + delay, action, label=label)
+
+    def step(self):
+        """Execute the next event; return it, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._clock.advance_to(event.time)
+        self._fired += 1
+        event.action()
+        return event
+
+    def run(self, max_events=1_000_000):
+        """Drain the queue. ``max_events`` guards against runaway loops."""
+        while self._queue:
+            if self._fired >= max_events:
+                raise ReproError(f"event loop exceeded {max_events} events")
+            self.step()
+        return self._clock.now

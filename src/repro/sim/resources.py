@@ -1,0 +1,72 @@
+"""Busy-until resources.
+
+A :class:`BusyResource` models a serially-used component (a device core, a
+PCIe link) on the simulated timeline: requests queue FIFO and each holds the
+resource for its duration.  The cooperative executor uses these to account
+for stalls when the host and the device contend for the link.
+"""
+
+
+class BusyResource:
+    """A resource that serves one request at a time.
+
+    ``acquire(start, duration)`` returns ``(begin, end)``: the request
+    begins at ``max(start, free_at)`` and ends ``duration`` later.  Total
+    busy and wait times are tracked for reporting.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self._free_at = 0.0
+        self._busy_time = 0.0
+        self._wait_time = 0.0
+        self._requests = 0
+
+    @property
+    def free_at(self):
+        """Earliest simulated time the next request could begin."""
+        return self._free_at
+
+    @property
+    def busy_time(self):
+        """Total simulated seconds spent serving requests."""
+        return self._busy_time
+
+    @property
+    def wait_time(self):
+        """Total simulated seconds requests spent queued."""
+        return self._wait_time
+
+    @property
+    def requests(self):
+        """Number of requests served."""
+        return self._requests
+
+    def acquire(self, start, duration):
+        """Serve a request arriving at ``start`` needing ``duration`` seconds."""
+        begin = max(start, self._free_at)
+        end = begin + duration
+        self._wait_time += begin - start
+        self._busy_time += duration
+        self._free_at = end
+        self._requests += 1
+        return begin, end
+
+    def utilization(self, horizon):
+        """Fraction of ``[0, horizon]`` the resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / horizon)
+
+    def reset(self):
+        """Forget all history; the resource becomes free at time zero."""
+        self._free_at = 0.0
+        self._busy_time = 0.0
+        self._wait_time = 0.0
+        self._requests = 0
+
+    def __repr__(self):
+        return (
+            f"BusyResource({self.name!r}, free_at={self._free_at:.6f}, "
+            f"busy={self._busy_time:.6f})"
+        )

@@ -1,0 +1,36 @@
+"""Smart-storage hardware substrate.
+
+Models the COSMOS+ OpenSSD platform the paper evaluates on (paper §4.2/§5):
+flash geometry with distinct internal/external bandwidth, a PCIe link
+(``cf_pcie`` in the cost model), a two-core device (core0 relay, core1 NDP),
+the device DRAM budget with the paper's buffer reservations, and the
+hardware profiler (§3.1) that derives the hardware-model parameters.
+"""
+
+from repro.storage.flash import FlashDevice, FlashExtent, FlashGeometry
+from repro.storage.interconnect import PCIeLink
+from repro.storage.machines import (
+    COSMOS_PLUS,
+    HOST_I5,
+    DeviceSpec,
+    HostSpec,
+    enterprise_device,
+)
+from repro.storage.device import BufferReservation, SmartStorageDevice
+from repro.storage.profiler import HardwareProfiler, ProfileReport
+
+__all__ = [
+    "FlashDevice",
+    "FlashExtent",
+    "FlashGeometry",
+    "PCIeLink",
+    "DeviceSpec",
+    "HostSpec",
+    "COSMOS_PLUS",
+    "HOST_I5",
+    "enterprise_device",
+    "SmartStorageDevice",
+    "BufferReservation",
+    "HardwareProfiler",
+    "ProfileReport",
+]

@@ -1,0 +1,181 @@
+"""GreedyFTL — the flash translation layer of the BLK baseline.
+
+The paper's *block* stack keeps COSMOS+ block-device compatible by
+running GreedyFTL with a 1 MB DRAM cache (§5).  An FTL maintains a
+logical-to-physical page mapping and performs out-of-place updates:
+every logical overwrite invalidates the old physical page, and when free
+blocks run low a garbage collection pass picks the block with the most
+invalid pages (the *greedy* policy), relocates its live pages, and
+erases it.  The resulting write amplification and mapping-cache misses
+are the physical justification for the BLK stack's I/O overhead factor
+in the timing model.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.lsm.cache import BlockCache
+
+
+@dataclass
+class FTLStats:
+    """Lifetime counters of one FTL instance."""
+
+    logical_writes: int = 0
+    physical_writes: int = 0
+    gc_runs: int = 0
+    pages_relocated: int = 0
+    blocks_erased: int = 0
+    map_hits: int = 0
+    map_misses: int = 0
+
+    @property
+    def write_amplification(self):
+        """physical/logical page writes (>= 1.0 once GC kicks in)."""
+        if self.logical_writes == 0:
+            return 1.0
+        return self.physical_writes / self.logical_writes
+
+
+class GreedyFTL:
+    """A page-mapping FTL with greedy garbage collection."""
+
+    def __init__(self, blocks=64, pages_per_block=64,
+                 map_cache_bytes=1024 * 1024, map_entry_bytes=8,
+                 gc_low_watermark=2):
+        if blocks < 4 or pages_per_block < 1:
+            raise StorageError("FTL geometry too small")
+        self.blocks = blocks
+        self.pages_per_block = pages_per_block
+        self._gc_low_watermark = gc_low_watermark
+        # block -> list of lpn (or None for invalid/free slot)
+        self._block_pages = [[None] * pages_per_block
+                             for _ in range(blocks)]
+        self._valid_count = [0] * blocks
+        self._free_blocks = list(range(blocks))
+        self._active_block = self._free_blocks.pop()
+        self._active_slot = 0
+        self._mapping = {}            # lpn -> (block, slot)
+        self._map_cache = BlockCache(map_cache_bytes)
+        self._map_entry_bytes = map_entry_bytes
+        self.stats = FTLStats()
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def total_pages(self):
+        """Physical page count."""
+        return self.blocks * self.pages_per_block
+
+    @property
+    def user_capacity_pages(self):
+        """Pages a user may address (keeps GC headroom)."""
+        return (self.blocks - self._gc_low_watermark
+                - 1) * self.pages_per_block
+
+    def free_pages(self):
+        """Unwritten physical pages (active block + free blocks)."""
+        active_free = self.pages_per_block - self._active_slot
+        return active_free + len(self._free_blocks) * self.pages_per_block
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def _map_lookup(self, lpn):
+        hit = self._map_cache.access(("map", lpn), self._map_entry_bytes)
+        if hit:
+            self.stats.map_hits += 1
+        else:
+            self.stats.map_misses += 1
+        return self._mapping.get(lpn)
+
+    def read(self, lpn):
+        """Translate one logical page read; returns the physical slot."""
+        location = self._map_lookup(lpn)
+        if location is None:
+            raise StorageError(f"read of unwritten logical page {lpn}")
+        return location
+
+    def write(self, lpn):
+        """Out-of-place write of one logical page."""
+        if lpn < 0:
+            raise StorageError("negative logical page")
+        if (lpn not in self._mapping
+                and len(self._mapping) >= self.user_capacity_pages):
+            raise StorageError("FTL user capacity exceeded")
+        self.stats.logical_writes += 1
+        self._map_lookup(lpn)
+        previous = self._mapping.get(lpn)
+        if previous is not None:
+            block, slot = previous
+            self._block_pages[block][slot] = None
+            self._valid_count[block] -= 1
+        self._program(lpn)
+        if len(self._free_blocks) < self._gc_low_watermark:
+            self._garbage_collect()
+
+    def _program(self, lpn):
+        if self._active_slot >= self.pages_per_block:
+            if not self._free_blocks:
+                self._garbage_collect()
+            self._active_block = self._free_blocks.pop()
+            self._active_slot = 0
+        block, slot = self._active_block, self._active_slot
+        self._block_pages[block][slot] = lpn
+        self._valid_count[block] += 1
+        self._mapping[lpn] = (block, slot)
+        self._active_slot += 1
+        self.stats.physical_writes += 1
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def _garbage_collect(self):
+        victim = self._pick_victim()
+        if victim is None:
+            raise StorageError("FTL is full: no GC victim available")
+        self.stats.gc_runs += 1
+        for slot, lpn in enumerate(self._block_pages[victim]):
+            if lpn is None:
+                continue
+            # Relocate the live page into the active block.
+            self._block_pages[victim][slot] = None
+            self._valid_count[victim] -= 1
+            self._program(lpn)
+            self.stats.pages_relocated += 1
+        self._block_pages[victim] = [None] * self.pages_per_block
+        self._valid_count[victim] = 0
+        self._free_blocks.insert(0, victim)
+        self.stats.blocks_erased += 1
+
+    def _pick_victim(self):
+        """Greedy policy: the non-active block with fewest valid pages."""
+        best = None
+        best_valid = None
+        for block in range(self.blocks):
+            if block == self._active_block or block in self._free_blocks:
+                continue
+            valid = self._valid_count[block]
+            if best is None or valid < best_valid:
+                best, best_valid = block, valid
+        if best is not None and best_valid >= self.pages_per_block:
+            return None    # nothing reclaimable
+        return best
+
+    def check_invariants(self):
+        """Mapping and per-block valid counts must be consistent."""
+        seen = {}
+        for block, pages in enumerate(self._block_pages):
+            valid = sum(1 for lpn in pages if lpn is not None)
+            if valid != self._valid_count[block]:
+                raise StorageError(f"block {block} valid-count drift")
+            for slot, lpn in enumerate(pages):
+                if lpn is None:
+                    continue
+                if lpn in seen:
+                    raise StorageError(f"logical page {lpn} mapped twice")
+                seen[lpn] = (block, slot)
+        if seen != self._mapping:
+            raise StorageError("mapping table out of sync")
+        return True

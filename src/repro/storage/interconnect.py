@@ -1,0 +1,74 @@
+"""PCIe interconnect model.
+
+The cost model's ``cf_pcie(hw_IPV, hw_IPL)`` (paper eq. 4/7) prices a block
+transfer from its PCIe version and lane count.  We model the physical layer:
+per-lane transfer rate, line encoding (8b/10b for gen 1/2, 128b/130b from
+gen 3), a protocol-efficiency factor for TLP/DLLP overhead, and a fixed
+per-command latency measured by the profiler's handshake probe.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+# Per-lane raw rate in gigatransfers/second and line-encoding efficiency.
+_PCIE_GENERATIONS = {
+    1: (2.5e9, 8.0 / 10.0),
+    2: (5.0e9, 8.0 / 10.0),
+    3: (8.0e9, 128.0 / 130.0),
+    4: (16.0e9, 128.0 / 130.0),
+    5: (32.0e9, 128.0 / 130.0),
+}
+
+# Fraction of line-rate bandwidth left after TLP/DLLP/flow-control overhead.
+_PROTOCOL_EFFICIENCY = 0.80
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A PCIe point-to-point link between host and smart storage.
+
+    >>> link = PCIeLink(version=2, lanes=8)
+    >>> round(link.bandwidth / 1e9, 2)   # effective bytes/second
+    3.2
+    """
+
+    version: int = 2
+    lanes: int = 8
+    command_latency: float = 8e-6  # seconds per command/doorbell round-trip
+
+    def __post_init__(self):
+        if self.version not in _PCIE_GENERATIONS:
+            raise StorageError(f"unknown PCIe version {self.version}")
+        if self.lanes not in (1, 2, 4, 8, 16, 32):
+            raise StorageError(f"invalid PCIe lane count {self.lanes}")
+        if self.command_latency < 0:
+            raise StorageError("command latency must be non-negative")
+
+    @property
+    def raw_bandwidth(self):
+        """Line-rate payload bandwidth in bytes/second (before protocol)."""
+        rate, encoding = _PCIE_GENERATIONS[self.version]
+        return rate * encoding * self.lanes / 8.0
+
+    @property
+    def bandwidth(self):
+        """Effective payload bandwidth in bytes/second."""
+        return self.raw_bandwidth * _PROTOCOL_EFFICIENCY
+
+    def transfer_time(self, nbytes, commands=1):
+        """Simulated seconds to move ``nbytes`` using ``commands`` commands."""
+        if nbytes < 0:
+            raise StorageError(f"cannot transfer negative bytes {nbytes}")
+        if commands < 0:
+            raise StorageError(f"negative command count {commands}")
+        return nbytes / self.bandwidth + commands * self.command_latency
+
+    def cost_factor(self):
+        """``cf_pcie``: abstract cost per byte (inverse relative bandwidth).
+
+        The cost model works in dimensionless units; we normalise so a
+        PCIe 3.0 x16 link has cost-factor 1.0 and slower links cost more.
+        """
+        reference = PCIeLink(version=3, lanes=16).bandwidth
+        return reference / self.bandwidth

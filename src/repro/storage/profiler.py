@@ -1,0 +1,177 @@
+"""Hardware profiling micro-benchmark (paper §3.1).
+
+Before DBMS startup, an on-device micro-benchmark measures the basic
+characteristics of the smart storage and the host; the results become the
+hardware-model parameter values in the DBMS parameter file.  The paper
+probes CPU/memory with memcpy runs over various buffer sizes and floating
+point kernels, flash with a random read/write mix, and the interconnect
+with handshake transfers of different sizes.
+
+Here the probes run against the device *model* rather than silicon: each
+probe asks the model how long the physical operation takes and reports the
+derived rates, mirroring the paper's information flow (profiler output ->
+parameter file -> cost model).
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+_MEMCPY_BUFFER_SIZES = [4 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024]
+_HANDSHAKE_SIZES = [512, 4 * 1024, 64 * 1024, 1024 * 1024, 8 * 1024 * 1024]
+_FLASH_PROBE_PAGES = 512
+_FLOPS_PROBE_OPS = 100_000
+
+
+@dataclass
+class ProfileReport:
+    """Raw measurements produced by one profiler run."""
+
+    device_name: str
+    host_name: str
+    # CPU / memory
+    device_memcpy_bandwidth: float = 0.0      # bytes/s
+    host_memcpy_bandwidth: float = 0.0        # bytes/s
+    device_eval_ops_per_second: float = 0.0
+    device_streaming_ops_per_second: float = 0.0   # FPGA scan units
+    device_index_ops_per_second: float = 0.0       # DRAM-bound seeks
+    host_eval_ops_per_second: float = 0.0
+    device_clock_hz: float = 0.0
+    host_clock_hz: float = 0.0
+    device_cores: int = 0
+    host_cores: int = 0
+    # Flash
+    device_flash_page_rate: float = 0.0       # pages/s, internal path
+    host_flash_page_rate: float = 0.0         # pages/s, external path
+    flash_page_size: int = 0
+    # Memory sizes
+    host_memory_bytes: int = 0
+    device_memory_bytes: int = 0
+    device_selection_buffer_bytes: int = 0
+    device_join_buffer_bytes: int = 0
+    # Interconnect
+    pcie_version: int = 0
+    pcie_lanes: int = 0
+    pcie_bandwidth: float = 0.0               # bytes/s, measured
+    pcie_command_latency: float = 0.0         # seconds, measured
+    probes: dict = field(default_factory=dict)
+
+    @property
+    def compute_gap(self):
+        """Host/device record-evaluation throughput ratio (~31x on COSMOS+)."""
+        if self.device_eval_ops_per_second <= 0:
+            return math.inf
+        return self.host_eval_ops_per_second / self.device_eval_ops_per_second
+
+
+class HardwareProfiler:
+    """Runs the §3.1 micro-benchmark against a device + host model."""
+
+    def __init__(self, device, host_spec):
+        if device is None or host_spec is None:
+            raise StorageError("profiler needs a device and a host spec")
+        self._device = device
+        self._host = host_spec
+
+    def run(self):
+        """Execute all probes and return a :class:`ProfileReport`."""
+        device, host = self._device, self._host
+        report = ProfileReport(device_name=device.spec.name,
+                               host_name=host.name)
+        probes = report.probes
+
+        probes["memcpy_device"] = self._memcpy_probe(
+            device.spec.memcpy_bandwidth)
+        probes["memcpy_host"] = self._memcpy_probe(host.memcpy_bandwidth)
+        report.device_memcpy_bandwidth = probes["memcpy_device"]["bandwidth"]
+        report.host_memcpy_bandwidth = probes["memcpy_host"]["bandwidth"]
+
+        probes["flops_device"] = self._flops_probe(
+            device.spec.eval_ops_per_second)
+        probes["flops_host"] = self._flops_probe(host.eval_ops_per_second)
+        report.device_eval_ops_per_second = probes["flops_device"]["rate"]
+        report.host_eval_ops_per_second = probes["flops_host"]["rate"]
+        # Streaming-filter and pointer-chase probes characterise the
+        # FPGA scan units and the DRAM-bound index path respectively.
+        probes["stream_device"] = self._flops_probe(
+            device.spec.eval_ops_per_second
+            * device.spec.streaming_eval_boost)
+        probes["chase_device"] = self._flops_probe(
+            device.spec.eval_ops_per_second * device.spec.index_op_boost)
+        report.device_streaming_ops_per_second = (
+            probes["stream_device"]["rate"])
+        report.device_index_ops_per_second = probes["chase_device"]["rate"]
+
+        report.device_clock_hz = device.spec.clock_hz
+        report.host_clock_hz = host.clock_hz
+        report.device_cores = device.spec.ndp_cores
+        report.host_cores = host.cores
+
+        probes["flash_internal"] = self._flash_probe(
+            device.flash.internal_read_time)
+        probes["flash_external"] = self._flash_probe(
+            device.flash.external_read_time)
+        report.device_flash_page_rate = probes["flash_internal"]["page_rate"]
+        report.host_flash_page_rate = probes["flash_external"]["page_rate"]
+        report.flash_page_size = device.flash.geometry.page_size
+
+        report.host_memory_bytes = host.memory_bytes
+        report.device_memory_bytes = device.spec.dram_bytes
+        report.device_selection_buffer_bytes = (
+            device.spec.selection_buffer_bytes)
+        report.device_join_buffer_bytes = device.spec.join_buffer_bytes
+
+        probes["handshake"] = self._handshake_probe(device.link)
+        report.pcie_version = device.link.version
+        report.pcie_lanes = device.link.lanes
+        report.pcie_bandwidth = probes["handshake"]["bandwidth"]
+        report.pcie_command_latency = probes["handshake"]["latency"]
+        return report
+
+    # ------------------------------------------------------------------
+    # Individual probes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _memcpy_probe(bandwidth):
+        """memcpy runs over increasing buffers; reports sustained rate."""
+        samples = {}
+        for size in _MEMCPY_BUFFER_SIZES:
+            samples[size] = size / bandwidth
+        total_bytes = sum(_MEMCPY_BUFFER_SIZES)
+        total_time = sum(samples.values())
+        return {"samples": samples, "bandwidth": total_bytes / total_time}
+
+    @staticmethod
+    def _flops_probe(rate):
+        """A fixed floating-point kernel; reports operations/second."""
+        elapsed = _FLOPS_PROBE_OPS / rate
+        return {"ops": _FLOPS_PROBE_OPS, "elapsed": elapsed,
+                "rate": _FLOPS_PROBE_OPS / elapsed}
+
+    def _flash_probe(self, read_time_fn):
+        """Random-read mix over the flash; reports a page rate."""
+        page = self._device.flash.geometry.page_size
+        elapsed = read_time_fn(_FLASH_PROBE_PAGES * page)
+        return {"pages": _FLASH_PROBE_PAGES, "elapsed": elapsed,
+                "page_rate": _FLASH_PROBE_PAGES / elapsed}
+
+    @staticmethod
+    def _handshake_probe(link):
+        """Handshake transfers of different sizes.
+
+        A linear fit over (size, time) separates fixed command latency
+        from per-byte cost, exactly what a real handshake probe extracts.
+        """
+        samples = {size: link.transfer_time(size) for size in _HANDSHAKE_SIZES}
+        sizes = list(samples)
+        times = [samples[s] for s in sizes]
+        n = len(sizes)
+        mean_x = sum(sizes) / n
+        mean_y = sum(times) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(sizes, times))
+        var = sum((x - mean_x) ** 2 for x in sizes)
+        per_byte = cov / var
+        latency = mean_y - per_byte * mean_x
+        return {"samples": samples, "bandwidth": 1.0 / per_byte,
+                "latency": max(0.0, latency)}

@@ -1,0 +1,29 @@
+"""Join-Order Benchmark workload (synthetic IMDB).
+
+The paper evaluates on JOB [Leis et al., VLDB 2015] over the IMDB dataset
+(~74 M rows, 21 tables) with the modifications of §5: fixed-size byte
+lengths for character values and 4-byte integers.  This package provides
+the 21-table schema, a seeded synthetic generator whose value
+distributions carry the constants the queries filter on, all 33 query
+families with their 113 variants, and a loader that builds a ready
+environment at a configurable scale factor.
+"""
+
+from repro.workloads.imdb_schema import JOB_TABLE_NAMES, imdb_schemas
+from repro.workloads.generator import DatasetSpec, generate_dataset
+from repro.workloads.job_queries import (JOB_FAMILIES, all_queries,
+                                         queries_in_family, query)
+from repro.workloads.loader import Environment, build_environment
+
+__all__ = [
+    "JOB_TABLE_NAMES",
+    "imdb_schemas",
+    "DatasetSpec",
+    "generate_dataset",
+    "JOB_FAMILIES",
+    "all_queries",
+    "queries_in_family",
+    "query",
+    "Environment",
+    "build_environment",
+]

@@ -1,0 +1,454 @@
+"""Seeded synthetic IMDB generator.
+
+Generates the 21 JOB tables at a configurable scale factor with the
+value vocabularies the JOB queries filter on (genres, country codes,
+role names, keyword strings, company notes...), foreign keys with
+zipf-like popularity skew, and NULLs where IMDB has them.  Everything is
+driven by one seed, so datasets are fully reproducible.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.workloads.imdb_schema import (BASE_ROW_COUNTS, FIXED_SIZE_TABLES,
+                                         JOB_TABLE_NAMES)
+
+# ----------------------------------------------------------------------
+# Vocabularies (the constants JOB queries select on)
+# ----------------------------------------------------------------------
+KIND_TYPES = ["movie", "tv movie", "video movie", "video game", "episode",
+              "tv series", "tv mini series"]
+
+COMPANY_TYPES = ["production companies", "distributors",
+                 "special effects companies", "miscellaneous companies"]
+
+COMP_CAST_TYPES = ["cast", "crew", "complete", "complete+verified"]
+
+ROLE_TYPES = ["actor", "actress", "producer", "writer", "cinematographer",
+              "composer", "costume designer", "director", "editor",
+              "miscellaneous crew", "production designer", "guest"]
+
+LINK_TYPES = ["sequel", "follows", "followed by", "remake of", "remade as",
+              "references", "referenced in", "spoofs", "spoofed in",
+              "features", "featured in", "spin off from", "spin off",
+              "version of", "similar to", "edited into", "edited from",
+              "alternate language"]
+
+_NAMED_INFO_TYPES = ["top 250 rank", "bottom 10 rank", "genres", "rating",
+                     "release dates", "budget", "votes", "countries",
+                     "languages", "runtimes", "color info", "certificates",
+                     "sound mix", "gross", "opening weekend", "trivia",
+                     "goofs", "height", "biography", "birth date",
+                     "birth notes", "mini biography"]
+INFO_TYPES = _NAMED_INFO_TYPES + [
+    f"info type {i}" for i in range(len(_NAMED_INFO_TYPES), 113)]
+
+_NAMED_KEYWORDS = ["character-name-in-title", "10,000-mile-club",
+                   "marvel-cinematic-universe", "superhero", "sequel",
+                   "second-part", "based-on-novel", "based-on-comic",
+                   "based-on-comic-book", "fight", "violence", "blood",
+                   "murder", "female-nudity", "hospital", "martial-arts",
+                   "kung-fu-master", "magnet", "web", "claw", "laser",
+                   "superhero-movie", "revenge", "vengeance", "super-power",
+                   "suspense", "tv-special", "number-in-title"]
+
+COUNTRY_CODES = ["[us]", "[gb]", "[de]", "[fr]", "[it]", "[jp]", "[nl]",
+                 "[es]", "[se]", "[pl]", "[au]", "[ca]", "[sm]", "[ru]"]
+_COUNTRY_WEIGHTS = [40, 12, 8, 7, 6, 6, 3, 3, 3, 2, 3, 4, 1, 2]
+
+MC_NOTES = [None, "(co-production)", "(presents)",
+            "(as Metro-Goldwyn-Mayer Pictures)",
+            "(as Warner Bros. Pictures)", "(2006) (USA) (TV)",
+            "(2012) (worldwide) (all media)", "(USA) (theatrical)",
+            "(VHS)", "(video)", "(1994) (worldwide) (theatrical)"]
+_MC_NOTE_WEIGHTS = [30, 12, 12, 5, 5, 8, 8, 8, 6, 4, 2]
+
+CI_NOTES = [None, "(voice)", "(voice: Japanese version)",
+            "(voice) (uncredited)", "(writer)", "(head writer)",
+            "(written by)", "(story)", "(producer)",
+            "(executive producer)", "(uncredited)", "(archive footage)"]
+_CI_NOTE_WEIGHTS = [45, 8, 3, 3, 6, 3, 5, 4, 7, 6, 6, 4]
+
+GENRES = ["Drama", "Comedy", "Horror", "Action", "Thriller", "Documentary",
+          "Sci-Fi", "Romance", "Adventure", "Crime", "Western", "Musical",
+          "Animation", "Family", "Mystery", "War", "Fantasy", "History",
+          "Sport", "Short"]
+
+MI_COUNTRIES = ["USA", "Germany", "Sweden", "Norway", "Denmark", "Japan",
+                "American", "Bulgaria", "France", "Italy", "UK", "Canada",
+                "Spain", "Finland", "Poland", "Australia"]
+
+LANGUAGES = ["English", "German", "Swedish", "Japanese", "French",
+             "Italian", "Spanish", "Danish", "Norwegian", "Polish"]
+
+_NAME_SYLLABLES = ["an", "bel", "cor", "dan", "el", "far", "gul", "han",
+                   "il", "jor", "kas", "lor", "mar", "nor", "ol", "pet",
+                   "qua", "ros", "son", "tor", "ul", "van", "wil", "xu",
+                   "yor", "zan"]
+_TITLE_WORDS = ["Shadow", "River", "Champion", "Night", "Return", "Dream",
+                "Secret", "Golden", "Last", "Dark", "Money", "Freedom",
+                "Winter", "Summer", "Glory", "Stone", "Fire", "Island",
+                "Crown", "Empire", "Voyage", "Legend"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """How much data to generate and how.
+
+    ``table_overrides`` pins absolute row counts for named tables —
+    e.g. Experiments 4/5 need a movie_link large enough that the
+    BNL-vs-BNLI regime matches the paper's (the real query selects
+    10 000 of its rows).
+    """
+
+    scale: float = 0.0005
+    seed: int = 7
+    min_rows: int = 8       # floor for scaled tables
+    table_overrides: tuple = ()    # ((table_name, rows), ...)
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise ReproError("scale must be positive")
+        for name, rows in self.table_overrides:
+            if name not in BASE_ROW_COUNTS:
+                raise ReproError(f"unknown table override {name!r}")
+            if rows <= 0:
+                raise ReproError(f"override for {name!r} must be positive")
+
+    def rows_for(self, table_name):
+        """Row count of one table at this scale."""
+        for name, rows in self.table_overrides:
+            if name == table_name:
+                return rows
+        base = BASE_ROW_COUNTS[table_name]
+        if table_name in FIXED_SIZE_TABLES:
+            return base
+        return max(self.min_rows, int(base * self.scale))
+
+
+def _skewed_id(rng, n, exponent=2.2):
+    """A 1..n id with zipf-like popularity skew toward small ids."""
+    return min(n, int(n * rng.random() ** exponent) + 1)
+
+
+def _person_name(rng, surname_initials="ABCDEFGHIJKLMNOPRSTVWXZ"):
+    surname = (rng.choice(surname_initials)
+               + "".join(rng.choice(_NAME_SYLLABLES)
+                         for _ in range(rng.randint(1, 2))))
+    given = rng.choice(_NAME_SYLLABLES).capitalize() + rng.choice(
+        _NAME_SYLLABLES)
+    return f"{surname}, {given}"
+
+
+def _movie_title(rng):
+    words = rng.sample(_TITLE_WORDS, rng.randint(1, 3))
+    return " ".join(words)
+
+
+def _production_year(rng):
+    # Skewed to recent decades, like IMDB.
+    return 1880 + int(140 * (rng.random() ** 0.45))
+
+
+def _pcode(rng):
+    return (rng.choice("ABCDKLMNPRST")
+            + "".join(rng.choice("123456") for _ in range(3)))
+
+
+class DatasetGenerator:
+    """Generates all 21 tables for one :class:`DatasetSpec`."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self.n_titles = spec.rows_for("title")
+        self.n_names = spec.rows_for("name")
+        self.n_companies = spec.rows_for("company_name")
+        self.n_keywords = spec.rows_for("keyword")
+        self.n_chars = spec.rows_for("char_name")
+
+    # ------------------------------------------------------------------
+    # Dimension tables
+    # ------------------------------------------------------------------
+    def gen_kind_type(self):
+        return [{"id": i + 1, "kind": kind}
+                for i, kind in enumerate(KIND_TYPES)]
+
+    def gen_company_type(self):
+        return [{"id": i + 1, "kind": kind}
+                for i, kind in enumerate(COMPANY_TYPES)]
+
+    def gen_comp_cast_type(self):
+        return [{"id": i + 1, "kind": kind}
+                for i, kind in enumerate(COMP_CAST_TYPES)]
+
+    def gen_role_type(self):
+        return [{"id": i + 1, "role": role}
+                for i, role in enumerate(ROLE_TYPES)]
+
+    def gen_link_type(self):
+        return [{"id": i + 1, "link": link}
+                for i, link in enumerate(LINK_TYPES)]
+
+    def gen_info_type(self):
+        return [{"id": i + 1, "info": info}
+                for i, info in enumerate(INFO_TYPES)]
+
+    # ------------------------------------------------------------------
+    # Entity tables
+    # ------------------------------------------------------------------
+    def gen_title(self):
+        rng = random.Random(self.spec.seed + 11)
+        rows = []
+        for i in range(1, self.n_titles + 1):
+            rows.append({
+                "id": i,
+                "title": _movie_title(rng),
+                "imdb_index": rng.choice([None, None, None, "I", "II"]),
+                "kind_id": rng.choices(
+                    range(1, len(KIND_TYPES) + 1),
+                    weights=[46, 8, 6, 4, 24, 9, 3])[0],
+                "production_year": _production_year(rng),
+                "episode_nr": (rng.randint(1, 400)
+                               if rng.random() < 0.2 else None),
+            })
+        return rows
+
+    def gen_name(self):
+        rng = random.Random(self.spec.seed + 13)
+        rows = []
+        for i in range(1, self.n_names + 1):
+            rows.append({
+                "id": i,
+                "name": _person_name(rng),
+                "imdb_index": rng.choice([None] * 8 + ["I", "II"]),
+                "gender": rng.choices(["m", "f", None],
+                                      weights=[55, 35, 10])[0],
+                "name_pcode_cf": _pcode(rng),
+            })
+        return rows
+
+    def gen_char_name(self):
+        rng = random.Random(self.spec.seed + 17)
+        return [{
+            "id": i,
+            "name": _person_name(rng, surname_initials="ABCDEFGHIKLMNTXZ"),
+            "name_pcode_nf": _pcode(rng),
+        } for i in range(1, self.n_chars + 1)]
+
+    def gen_company_name(self):
+        rng = random.Random(self.spec.seed + 19)
+        rows = []
+        for i in range(1, self.n_companies + 1):
+            code = rng.choices(COUNTRY_CODES + [None],
+                               weights=_COUNTRY_WEIGHTS + [5])[0]
+            suffix = rng.choice(["Pictures", "Films", "Studio",
+                                 "Entertainment", "Productions", "Film"])
+            rows.append({
+                "id": i,
+                "name": f"{rng.choice(_TITLE_WORDS)} {suffix}",
+                "country_code": code,
+                "name_pcode_sf": _pcode(rng),
+            })
+        return rows
+
+    def gen_keyword(self):
+        rng = random.Random(self.spec.seed + 23)
+        rows = []
+        for i in range(1, self.n_keywords + 1):
+            if i <= len(_NAMED_KEYWORDS):
+                word = _NAMED_KEYWORDS[i - 1]
+            else:
+                word = (f"{rng.choice(_TITLE_WORDS).lower()}-"
+                        f"{rng.choice(_TITLE_WORDS).lower()}-{i}")
+            rows.append({"id": i, "keyword": word,
+                         "phonetic_code": _pcode(rng)})
+        return rows
+
+    # ------------------------------------------------------------------
+    # Relationship tables
+    # ------------------------------------------------------------------
+    def gen_aka_name(self):
+        rng = random.Random(self.spec.seed + 29)
+        n = self.spec.rows_for("aka_name")
+        return [{
+            "id": i,
+            "person_id": _skewed_id(rng, self.n_names),
+            "name": _person_name(rng),
+            "name_pcode_cf": _pcode(rng),
+            "name_pcode_nf": _pcode(rng),
+        } for i in range(1, n + 1)]
+
+    def gen_aka_title(self):
+        rng = random.Random(self.spec.seed + 31)
+        n = self.spec.rows_for("aka_title")
+        return [{
+            "id": i,
+            "movie_id": _skewed_id(rng, self.n_titles),
+            "title": _movie_title(rng),
+            "kind_id": rng.randint(1, len(KIND_TYPES)),
+            "production_year": _production_year(rng),
+        } for i in range(1, n + 1)]
+
+    def gen_cast_info(self):
+        rng = random.Random(self.spec.seed + 37)
+        n = self.spec.rows_for("cast_info")
+        rows = []
+        for i in range(1, n + 1):
+            rows.append({
+                "id": i,
+                "person_id": _skewed_id(rng, self.n_names),
+                "movie_id": _skewed_id(rng, self.n_titles),
+                "person_role_id": (_skewed_id(rng, self.n_chars)
+                                   if rng.random() < 0.55 else None),
+                "note": rng.choices(CI_NOTES, weights=_CI_NOTE_WEIGHTS)[0],
+                "nr_order": rng.randint(1, 40) if rng.random() < 0.5
+                            else None,
+                "role_id": rng.choices(
+                    range(1, len(ROLE_TYPES) + 1),
+                    weights=[30, 20, 8, 8, 3, 3, 3, 6, 4, 10, 3, 2])[0],
+            })
+        return rows
+
+    def gen_complete_cast(self):
+        rng = random.Random(self.spec.seed + 41)
+        n = self.spec.rows_for("complete_cast")
+        return [{
+            "id": i,
+            "movie_id": _skewed_id(rng, self.n_titles),
+            "subject_id": rng.randint(1, 2),     # cast / crew
+            "status_id": rng.randint(3, 4),      # complete / +verified
+        } for i in range(1, n + 1)]
+
+    def gen_movie_companies(self):
+        rng = random.Random(self.spec.seed + 43)
+        n = self.spec.rows_for("movie_companies")
+        return [{
+            "id": i,
+            "movie_id": _skewed_id(rng, self.n_titles),
+            "company_id": _skewed_id(rng, self.n_companies),
+            "company_type_id": rng.choices([1, 2, 3, 4],
+                                           weights=[45, 45, 5, 5])[0],
+            "note": rng.choices(MC_NOTES, weights=_MC_NOTE_WEIGHTS)[0],
+        } for i in range(1, n + 1)]
+
+    def _movie_info_value(self, rng, info_type_id):
+        info = INFO_TYPES[info_type_id - 1]
+        if info == "genres":
+            return rng.choice(GENRES)
+        if info == "countries":
+            return rng.choice(MI_COUNTRIES)
+        if info == "languages":
+            return rng.choice(LANGUAGES)
+        if info == "release dates":
+            country = rng.choice(MI_COUNTRIES)
+            year = _production_year(rng)
+            return f"{country}:{year}"
+        if info == "rating":
+            return f"{rng.uniform(1.0, 9.9):.1f}"
+        if info == "votes":
+            return str(int(10 ** rng.uniform(1, 6)))
+        if info in ("top 250 rank", "bottom 10 rank"):
+            return str(rng.randint(1, 250))
+        if info == "budget":
+            return f"${int(10 ** rng.uniform(4, 8)):,}"
+        if info == "runtimes":
+            return str(rng.randint(40, 240))
+        return f"{info}-{rng.randint(1, 500)}"
+
+    def gen_movie_info(self):
+        rng = random.Random(self.spec.seed + 47)
+        n = self.spec.rows_for("movie_info")
+        # movie_info covers the descriptive types (genres, countries...).
+        type_pool = [3, 5, 8, 9, 10, 11, 12, 13, 14, 6]   # 1-based ids
+        weights = [22, 14, 12, 10, 12, 6, 6, 4, 4, 10]
+        rows = []
+        for i in range(1, n + 1):
+            info_type_id = rng.choices(type_pool, weights=weights)[0]
+            rows.append({
+                "id": i,
+                "movie_id": _skewed_id(rng, self.n_titles),
+                "info_type_id": info_type_id,
+                "info": self._movie_info_value(rng, info_type_id),
+                "note": None if rng.random() < 0.8 else "(approx.)",
+            })
+        return rows
+
+    def gen_movie_info_idx(self):
+        rng = random.Random(self.spec.seed + 53)
+        n = self.spec.rows_for("movie_info_idx")
+        # movie_info_idx holds the ranked types (rating, votes, top 250).
+        type_pool = [4, 7, 1, 2]
+        weights = [45, 45, 6, 4]
+        rows = []
+        for i in range(1, n + 1):
+            info_type_id = rng.choices(type_pool, weights=weights)[0]
+            rows.append({
+                "id": i,
+                "movie_id": _skewed_id(rng, self.n_titles),
+                "info_type_id": info_type_id,
+                "info": self._movie_info_value(rng, info_type_id),
+            })
+        return rows
+
+    def gen_movie_keyword(self):
+        rng = random.Random(self.spec.seed + 59)
+        n = self.spec.rows_for("movie_keyword")
+        # Named keywords are far more popular than the synthetic tail.
+        named = len(_NAMED_KEYWORDS)
+        rows = []
+        for i in range(1, n + 1):
+            if rng.random() < 0.35 and named:
+                keyword_id = rng.randint(1, min(named, self.n_keywords))
+            else:
+                keyword_id = _skewed_id(rng, self.n_keywords, exponent=1.4)
+            rows.append({
+                "id": i,
+                "movie_id": _skewed_id(rng, self.n_titles),
+                "keyword_id": keyword_id,
+            })
+        return rows
+
+    def gen_movie_link(self):
+        rng = random.Random(self.spec.seed + 61)
+        n = self.spec.rows_for("movie_link")
+        return [{
+            "id": i,
+            "movie_id": _skewed_id(rng, self.n_titles),
+            "linked_movie_id": rng.randint(1, self.n_titles),
+            "link_type_id": rng.randint(1, len(LINK_TYPES)),
+        } for i in range(1, n + 1)]
+
+    def gen_person_info(self):
+        rng = random.Random(self.spec.seed + 67)
+        n = self.spec.rows_for("person_info")
+        type_pool = [16, 18, 19, 20, 21, 22]
+        rows = []
+        for i in range(1, n + 1):
+            info_type_id = rng.choice(type_pool)
+            rows.append({
+                "id": i,
+                "person_id": _skewed_id(rng, self.n_names),
+                "info_type_id": info_type_id,
+                "info": f"{INFO_TYPES[info_type_id - 1]}-{rng.randint(1, 999)}",
+                "note": None if rng.random() < 0.6 else "(source)",
+            })
+        return rows
+
+    # ------------------------------------------------------------------
+    def generate(self, table_name):
+        """Rows of one table."""
+        method = getattr(self, f"gen_{table_name}", None)
+        if method is None:
+            raise ReproError(f"no generator for table {table_name!r}")
+        return method()
+
+    def generate_all(self):
+        """{table_name: rows} for all 21 tables."""
+        return {name: self.generate(name) for name in JOB_TABLE_NAMES}
+
+
+def generate_dataset(spec=None):
+    """Generate all tables for a spec (default: tiny, seed 7)."""
+    return DatasetGenerator(spec or DatasetSpec()).generate_all()

@@ -1,0 +1,188 @@
+"""The 21 JOB/IMDB table schemas.
+
+Column sets follow the IMDB schema JOB uses, trimmed to the columns the
+benchmark actually touches, with the paper's fixed-width encoding (§5):
+4-byte integers and CHAR(n) values padded/trimmed to fixed byte lengths.
+Secondary indexes mirror the foreign-key indexes MyRocks would maintain
+(JOB's standard index set).
+"""
+
+from repro.relational.schema import TableSchema, char_col, int_col
+
+#: All 21 JOB table names, in a stable order.
+JOB_TABLE_NAMES = [
+    "aka_name",
+    "aka_title",
+    "cast_info",
+    "char_name",
+    "comp_cast_type",
+    "company_name",
+    "company_type",
+    "complete_cast",
+    "info_type",
+    "keyword",
+    "kind_type",
+    "link_type",
+    "movie_companies",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+    "movie_link",
+    "name",
+    "person_info",
+    "role_type",
+    "title",
+]
+
+
+def imdb_schemas(secondary_indexes=True):
+    """Build the 21 table schemas.
+
+    ``secondary_indexes=False`` drops all secondary indexes (Experiments
+    4/5 compare index-less NDP joins against indexed ones).
+    """
+    def idx(*columns):
+        return tuple(columns) if secondary_indexes else ()
+
+    return [
+        TableSchema(
+            "aka_name",
+            (int_col("id", False), int_col("person_id"),
+             char_col("name", 32), char_col("name_pcode_cf", 8),
+             char_col("name_pcode_nf", 8)),
+            "id", idx("person_id")),
+        TableSchema(
+            "aka_title",
+            (int_col("id", False), int_col("movie_id"),
+             char_col("title", 32), int_col("kind_id"),
+             int_col("production_year")),
+            "id", idx("movie_id")),
+        TableSchema(
+            "cast_info",
+            (int_col("id", False), int_col("person_id"),
+             int_col("movie_id"), int_col("person_role_id"),
+             char_col("note", 32), int_col("nr_order"),
+             int_col("role_id")),
+            "id", idx("person_id", "movie_id", "role_id")),
+        TableSchema(
+            "char_name",
+            (int_col("id", False), char_col("name", 32),
+             char_col("name_pcode_nf", 8)),
+            "id", ()),
+        TableSchema(
+            "comp_cast_type",
+            (int_col("id", False), char_col("kind", 20)),
+            "id", ()),
+        TableSchema(
+            "company_name",
+            (int_col("id", False), char_col("name", 32),
+             char_col("country_code", 8), char_col("name_pcode_sf", 8)),
+            "id", ()),
+        TableSchema(
+            "company_type",
+            (int_col("id", False), char_col("kind", 28)),
+            "id", ()),
+        TableSchema(
+            "complete_cast",
+            (int_col("id", False), int_col("movie_id"),
+             int_col("subject_id"), int_col("status_id")),
+            "id", idx("movie_id")),
+        TableSchema(
+            "info_type",
+            (int_col("id", False), char_col("info", 24)),
+            "id", ()),
+        TableSchema(
+            "keyword",
+            (int_col("id", False), char_col("keyword", 28),
+             char_col("phonetic_code", 8)),
+            "id", ()),
+        TableSchema(
+            "kind_type",
+            (int_col("id", False), char_col("kind", 16)),
+            "id", ()),
+        TableSchema(
+            "link_type",
+            (int_col("id", False), char_col("link", 20)),
+            "id", ()),
+        TableSchema(
+            "movie_companies",
+            (int_col("id", False), int_col("movie_id"),
+             int_col("company_id"), int_col("company_type_id"),
+             char_col("note", 44)),
+            "id", idx("movie_id", "company_id", "company_type_id")),
+        TableSchema(
+            "movie_info",
+            (int_col("id", False), int_col("movie_id"),
+             int_col("info_type_id"), char_col("info", 24),
+             char_col("note", 20)),
+            "id", idx("movie_id", "info_type_id")),
+        TableSchema(
+            "movie_info_idx",
+            (int_col("id", False), int_col("movie_id"),
+             int_col("info_type_id"), char_col("info", 12)),
+            "id", idx("movie_id", "info_type_id")),
+        TableSchema(
+            "movie_keyword",
+            (int_col("id", False), int_col("movie_id"),
+             int_col("keyword_id")),
+            "id", idx("movie_id", "keyword_id")),
+        TableSchema(
+            "movie_link",
+            (int_col("id", False), int_col("movie_id"),
+             int_col("linked_movie_id"), int_col("link_type_id")),
+            "id", idx("movie_id", "link_type_id")),
+        TableSchema(
+            "name",
+            (int_col("id", False), char_col("name", 32),
+             char_col("imdb_index", 4), char_col("gender", 4),
+             char_col("name_pcode_cf", 8)),
+            "id", ()),
+        TableSchema(
+            "person_info",
+            (int_col("id", False), int_col("person_id"),
+             int_col("info_type_id"), char_col("info", 28),
+             char_col("note", 20)),
+            "id", idx("person_id", "info_type_id")),
+        TableSchema(
+            "role_type",
+            (int_col("id", False), char_col("role", 20)),
+            "id", ()),
+        TableSchema(
+            "title",
+            (int_col("id", False), char_col("title", 32),
+             char_col("imdb_index", 4), int_col("kind_id"),
+             int_col("production_year"), int_col("episode_nr")),
+            "id", idx("kind_id", "production_year")),
+    ]
+
+
+#: Relative row counts of the real IMDB dump JOB uses (scale = 1.0).
+BASE_ROW_COUNTS = {
+    "aka_name": 901_343,
+    "aka_title": 361_472,
+    "cast_info": 36_244_344,
+    "char_name": 3_140_339,
+    "comp_cast_type": 4,
+    "company_name": 234_997,
+    "company_type": 4,
+    "complete_cast": 135_086,
+    "info_type": 113,
+    "keyword": 134_170,
+    "kind_type": 7,
+    "link_type": 18,
+    "movie_companies": 2_609_129,
+    "movie_info": 14_835_720,
+    "movie_info_idx": 1_380_035,
+    "movie_keyword": 4_523_930,
+    "movie_link": 29_997,
+    "name": 4_167_491,
+    "person_info": 2_963_664,
+    "role_type": 12,
+    "title": 2_528_312,
+}
+
+#: Dimension tables that keep their real cardinality at any scale.
+FIXED_SIZE_TABLES = {
+    "comp_cast_type", "company_type", "info_type", "kind_type",
+    "link_type", "role_type",
+}

@@ -1,0 +1,130 @@
+"""Environment builder: dataset -> storage -> catalog -> engines.
+
+``build_environment`` generates the synthetic IMDB dataset at a scale
+factor, loads it through the relational layer into the LSM store on a
+flash device, profiles the hardware, and wires up the stack runner and
+the hybrid planner.  The device buffer sizes are scaled by the ratio of
+the synthetic dataset to the paper's 16 GB so buffer-pressure effects
+(batching, BNL block counts) stay proportionate.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import CostModel
+from repro.core.hardware import HardwareModel
+from repro.core.planner import HybridPlanner
+from repro.core.splitter import SplitPlanner
+from repro.engine.stacks import StackRunner
+from repro.lsm.column_family import KVDatabase
+from repro.lsm.store import LSMConfig
+from repro.relational.catalog import Catalog
+from repro.storage.device import SmartStorageDevice
+from repro.storage.flash import FlashDevice
+from repro.storage.machines import COSMOS_PLUS, HOST_I5
+from repro.workloads.generator import DatasetGenerator, DatasetSpec
+from repro.workloads.imdb_schema import imdb_schemas
+
+#: The paper's dataset: ~16 GB including 6 GB of indexes (§5).
+PAPER_DATASET_BYTES = 16 * 1024 ** 3
+
+
+@dataclass
+class Environment:
+    """Everything needed to run experiments against one dataset."""
+
+    spec: DatasetSpec
+    database: KVDatabase
+    catalog: Catalog
+    device: SmartStorageDevice
+    runner: StackRunner
+    planner: HybridPlanner
+    hardware: HardwareModel
+    buffer_scale: float
+
+    @property
+    def total_rows(self):
+        """Rows loaded across all tables."""
+        return self.catalog.total_rows()
+
+    @property
+    def total_bytes(self):
+        """Data bytes across all tables (excluding indexes)."""
+        return self.catalog.total_bytes()
+
+    def run(self, query, stack, split_index=None):
+        """Shortcut to :meth:`StackRunner.run`."""
+        return self.runner.run(query, stack, split_index=split_index)
+
+    def decide(self, query):
+        """Shortcut to :meth:`HybridPlanner.decide`."""
+        return self.planner.decide(query)
+
+
+def _lsm_config_for(spec):
+    """LSM tuning proportionate to the dataset scale.
+
+    Chosen so the larger tables span several SSTs over 2-3 levels, which
+    keeps LSM read-amplification effects (merging iterators, per-SST
+    index blocks) visible at any scale.
+    """
+    memtable = max(16 * 1024, int(2 * 1024 * 1024 * spec.scale * 64))
+    return LSMConfig(
+        memtable_size=memtable,
+        block_size=4096,
+        level_base_bytes=4 * memtable,
+        size_ratio=8,
+        sst_target_bytes=2 * memtable,
+        seed=spec.seed,
+    )
+
+
+def build_environment(scale=0.0005, seed=7, secondary_indexes=True,
+                      device_spec=None, host_spec=None, min_rows=8,
+                      table_overrides=()):
+    """Generate, load, profile, and wire an :class:`Environment`."""
+    spec = DatasetSpec(scale=scale, seed=seed, min_rows=min_rows,
+                       table_overrides=tuple(table_overrides))
+    flash = FlashDevice()
+    database = KVDatabase(flash=flash, default_config=_lsm_config_for(spec))
+    catalog = Catalog(database)
+
+    for schema in imdb_schemas(secondary_indexes=secondary_indexes):
+        catalog.create_table(schema)
+
+    generator = DatasetGenerator(spec)
+    for schema in imdb_schemas(secondary_indexes=secondary_indexes):
+        table = catalog.table(schema.name)
+        table.insert_many(generator.generate(schema.name))
+    catalog.flush_all()
+
+    device = SmartStorageDevice(spec=device_spec or COSMOS_PLUS,
+                                flash=flash)
+    host = host_spec or HOST_I5
+
+    # Scale device buffers by dataset-size ratio (floors keep batching
+    # meaningful at tiny scales).
+    dataset_bytes = max(1, catalog.total_bytes())
+    buffer_scale = max(2e-4, dataset_bytes / PAPER_DATASET_BYTES)
+
+    hardware = HardwareModel.profile(device, host)
+    cost_model = CostModel(hardware)
+    # The minimum-transfer-volume precondition (§3.3) scales with the
+    # dataset like every buffer does.
+    min_transfer = max(256, int(64 * 1024 * buffer_scale * 1024))
+    split_planner = SplitPlanner(hardware, cost_model,
+                                 min_transfer_bytes=min_transfer)
+    planner = HybridPlanner(catalog, device, hardware,
+                            cost_model=cost_model,
+                            split_planner=split_planner)
+    runner = StackRunner(catalog, database, device, host_spec=host,
+                         buffer_scale=buffer_scale)
+    return Environment(
+        spec=spec,
+        database=database,
+        catalog=catalog,
+        device=device,
+        runner=runner,
+        planner=planner,
+        hardware=hardware,
+        buffer_scale=buffer_scale,
+    )

@@ -1,0 +1,56 @@
+"""Tests for the CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (["info"], ["run", "8c"], ["decide", "1a"],
+                     ["sweep", "8c"], ["experiment", "fig2"],
+                     ["survey"], ["list-queries"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_stack_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "8c", "--stack", "hybrid",
+                                  "--split", "2"])
+        assert args.stack == "hybrid" and args.split == 2
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "8c", "--stack", "warp"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["--scale", "0.001", "info"])
+        assert args.scale == 0.001
+
+
+class TestCommands:
+    def test_list_queries(self, capsys):
+        assert main(["list-queries"]) == 0
+        out = capsys.readouterr().out
+        assert "113 JOB queries" in out
+        assert "8c" in out
+
+    def test_run_and_decide(self, capsys):
+        # Small scale keeps the CLI test fast; the env is rebuilt per call.
+        assert main(["--scale", "0.0002", "run", "1a",
+                     "--stack", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "host-only(native)" in out
+
+        assert main(["--scale", "0.0002", "decide", "1a"]) == 0
+        out = capsys.readouterr().out
+        assert "preconditions" in out
+
+    def test_info(self, capsys):
+        assert main(["--scale", "0.0002", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "compute gap" in out
+        assert "cosmos-plus" in out

@@ -1,0 +1,61 @@
+"""Tests for the hardware model (Table 2) and its profiler pipeline."""
+
+import pytest
+
+from repro.core.hardware import HardwareModel
+from repro.errors import ReproError
+from repro.storage.machines import HOST_I5
+from repro.storage.profiler import HardwareProfiler
+
+
+@pytest.fixture
+def hardware(device):
+    return HardwareModel.profile(device, HOST_I5)
+
+
+class TestConstruction:
+    def test_from_profile_copies_measurements(self, device):
+        report = HardwareProfiler(device, HOST_I5).run()
+        model = HardwareModel.from_profile(report)
+        assert model.ndp_hw_fcf == report.device_flash_page_rate
+        assert model.host_hw_fcf == report.host_flash_page_rate
+        assert model.hw_msh == HOST_I5.memory_bytes
+        assert model.hw_mss == device.spec.selection_buffer_bytes
+        assert model.hw_msj == device.spec.join_buffer_bytes
+        assert model.hw_ipv == 2 and model.hw_ipl == 8
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ReproError):
+            HardwareModel(ndp_hw_fcf=0, host_hw_fcf=1)
+        with pytest.raises(ReproError):
+            HardwareModel(ndp_hw_fcf=1, host_hw_fcf=1, eval_ndp=0)
+
+
+class TestDerivedFactors:
+    def test_compute_gap(self, hardware):
+        assert hardware.compute_gap == pytest.approx(92343 / 2964, rel=0.01)
+
+    def test_page_cost_cheaper_on_device(self, hardware):
+        assert hardware.page_cost(on_device=True) < hardware.page_cost(
+            on_device=False)
+        assert hardware.page_cost(on_device=False) == 1.0
+
+    def test_fsw_scales_device_page_cost(self, device):
+        report = HardwareProfiler(device, HOST_I5).run()
+        light = HardwareModel.from_profile(report, hw_fsw=1.0)
+        heavy = HardwareModel.from_profile(report, hw_fsw=2.0)
+        assert heavy.page_cost(True) == pytest.approx(
+            light.page_cost(True) / 2.0)
+
+    def test_compute_factor(self, hardware):
+        assert hardware.compute_factor(on_device=False) == 1.0
+        assert hardware.compute_factor(on_device=True) == pytest.approx(
+            hardware.compute_gap)
+
+    def test_memcpy_factor(self, hardware):
+        assert hardware.memcpy_factor(on_device=False) == 1.0
+        assert hardware.memcpy_factor(on_device=True) > 1.0
+
+    def test_cf_pcie_for_gen2_x8(self, hardware):
+        # Slower than the PCIe 3.0 x16 reference -> factor > 1.
+        assert hardware.cf_pcie() > 1.0

@@ -1,0 +1,147 @@
+"""Tests for split-point calculation (eqs. 9-12) and the hybrid planner."""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.hardware import HardwareModel
+from repro.core.planner import HybridPlanner
+from repro.core.splitter import SplitPlanner
+from repro.core.strategy import ExecutionStrategy
+from repro.errors import PlanError
+from repro.query.optimizer import build_plan
+from repro.storage.machines import HOST_I5
+
+from tests.conftest import MINI_JOIN_SQL
+
+
+@pytest.fixture
+def hardware(device):
+    return HardwareModel.profile(device, HOST_I5)
+
+
+@pytest.fixture
+def cost_model(hardware):
+    return CostModel(hardware)
+
+
+@pytest.fixture
+def splitter(hardware, cost_model):
+    return SplitPlanner(hardware, cost_model, min_transfer_bytes=1)
+
+
+@pytest.fixture
+def planner(mini_catalog, device, hardware, cost_model, splitter):
+    return HybridPlanner(mini_catalog, device, hardware,
+                         cost_model=cost_model, split_planner=splitter)
+
+
+class TestTargetCost:
+    def test_split_cpu_reflects_offload_path_rate(self, splitter,
+                                                  hardware):
+        # Offloaded fragments are seek/join bound: eq. (9) uses the
+        # device's DRAM-bound rate, not the 31x CoreMark rate.
+        assert splitter.split_cpu() == pytest.approx(
+            100.0 * hardware.eval_ndp_index / hardware.eval_host)
+
+    def test_split_mem_eq10_eq11(self, splitter, hardware):
+        n = 5
+        expected_dev = n * hardware.hw_mss + (n - 1) * hardware.hw_msj
+        assert splitter.split_mem(n) == pytest.approx(
+            100.0 * expected_dev / hardware.hw_msh)
+
+    def test_split_mem_grows_with_tables(self, splitter):
+        assert splitter.split_mem(10) > splitter.split_mem(3)
+
+    def test_c_target_eq12(self, splitter):
+        c_total = 1000.0
+        expected = c_total * (splitter.split_cpu()
+                              + splitter.split_mem(4)) / 200.0
+        assert splitter.c_target(c_total, 4) == pytest.approx(expected)
+
+    def test_c_target_is_minor_share(self, splitter):
+        # COSMOS+ is the weaker partner: the device should carry less
+        # than half of the total cost.
+        assert splitter.c_target(1000.0, 5) < 500.0
+
+
+class TestSplitChoice:
+    def test_choice_minimizes_distance(self, splitter, mini_catalog):
+        plan = build_plan(MINI_JOIN_SQL, mini_catalog)
+        choice = splitter.choose_split(plan)
+        distances = [abs(cost - choice.c_target)
+                     for cost in choice.cumulative_costs]
+        assert choice.distance == min(distances)
+        assert choice.cumulative_costs[choice.split_index] == (
+            pytest.approx(choice.c_target + choice.distance)
+        ) or choice.cumulative_costs[choice.split_index] == (
+            pytest.approx(choice.c_target - choice.distance))
+
+    def test_single_table_rejected(self, splitter, mini_catalog):
+        plan = build_plan("SELECT t.title FROM title AS t", mini_catalog)
+        with pytest.raises(PlanError):
+            splitter.choose_split(plan)
+
+    def test_choice_name(self, splitter, mini_catalog):
+        plan = build_plan(MINI_JOIN_SQL, mini_catalog)
+        choice = splitter.choose_split(plan)
+        assert choice.name == f"H{choice.split_index}"
+
+
+class TestPreconditions:
+    def test_all_pass_for_join_query(self, splitter, mini_catalog, device):
+        plan = build_plan(MINI_JOIN_SQL, mini_catalog)
+        checks = splitter.check_preconditions(plan, device)
+        assert all(checks.values())
+
+    def test_single_table_fails_multi_table(self, splitter, mini_catalog,
+                                            device):
+        plan = build_plan("SELECT t.title FROM title AS t", mini_catalog)
+        checks = splitter.check_preconditions(plan, device)
+        assert checks["multi_table"] is False
+
+    def test_ndp_mode_required(self, splitter, mini_catalog, device):
+        device.ndp_mode = False
+        plan = build_plan(MINI_JOIN_SQL, mini_catalog)
+        checks = splitter.check_preconditions(plan, device)
+        assert checks["ndp_mode"] is False
+
+
+class TestPlannerDecision:
+    def test_decision_structure(self, planner):
+        decision = planner.decide(MINI_JOIN_SQL)
+        assert decision.strategy in ExecutionStrategy
+        assert decision.c_total_host > 0
+        assert decision.c_total_device > 0
+        assert decision.estimated_costs
+        assert decision.summary()
+
+    def test_hybrid_decision_has_split(self, planner):
+        decision = planner.decide(MINI_JOIN_SQL)
+        if decision.strategy is ExecutionStrategy.HYBRID:
+            assert decision.split_index is not None
+            assert decision.strategy_name.startswith("H")
+
+    def test_single_table_falls_back_to_host(self, planner):
+        decision = planner.decide("SELECT t.title FROM title AS t")
+        assert decision.strategy is ExecutionStrategy.HOST_ONLY
+        assert "preconditions" in decision.reason
+
+    def test_ndp_mode_off_forces_host(self, planner, device):
+        device.ndp_mode = False
+        decision = planner.decide(MINI_JOIN_SQL)
+        assert decision.strategy is ExecutionStrategy.HOST_ONLY
+        device.ndp_mode = True
+
+    def test_winner_has_lowest_estimate(self, planner):
+        decision = planner.decide(MINI_JOIN_SQL)
+        winner_cost = decision.estimated_costs[
+            decision.strategy_name if decision.strategy
+            is not ExecutionStrategy.HYBRID
+            else f"H{decision.split_index}"]
+        assert winner_cost == min(decision.estimated_costs.values())
+
+    def test_cumulative_curve_exported(self, planner):
+        decision = planner.decide(MINI_JOIN_SQL)
+        if decision.strategy is not ExecutionStrategy.HOST_ONLY or (
+                all(decision.preconditions.values())):
+            assert len(decision.cumulative_costs) == 3

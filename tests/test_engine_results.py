@@ -1,0 +1,88 @@
+"""Tests for QueryResult / ExecutionReport / TimelinePhase."""
+
+import pytest
+
+from repro.engine.results import (ExecutionReport, QueryResult,
+                                  TimelinePhase)
+
+
+class TestQueryResult:
+    def test_len(self):
+        result = QueryResult([{"a": 1}, {"a": 2}], ["a"])
+        assert len(result) == 2
+
+    def test_sorted_rows_canonical(self):
+        rows = [{"a": 2, "b": "x"}, {"a": 1, "b": "y"}]
+        result = QueryResult(rows, ["a", "b"])
+        assert [r["a"] for r in result.sorted_rows()] == [1, 2]
+
+    def test_sorted_rows_handles_none(self):
+        rows = [{"a": None}, {"a": 1}, {"a": None}]
+        result = QueryResult(rows, ["a"])
+        ordered = result.sorted_rows()
+        assert ordered[0]["a"] == 1          # non-null sorts first
+
+    def test_sorted_rows_mixed_types(self):
+        rows = [{"a": "text"}, {"a": 3}]
+        QueryResult(rows, ["a"]).sorted_rows()   # must not raise
+
+    def test_scalar(self):
+        assert QueryResult([{"x": 42}], ["x"]).scalar() == 42
+
+    def test_scalar_rejects_non_scalar(self):
+        with pytest.raises(ValueError):
+            QueryResult([{"x": 1}, {"x": 2}], ["x"]).scalar()
+        with pytest.raises(ValueError):
+            QueryResult([{"x": 1, "y": 2}], ["x", "y"]).scalar()
+
+
+class TestTimelinePhase:
+    def test_duration(self):
+        phase = TimelinePhase("host", "compute", 1.0, 3.5)
+        assert phase.duration == 2.5
+
+
+class TestExecutionReport:
+    def _report(self, **kwargs):
+        defaults = dict(
+            strategy="H2", total_time=10.0,
+            result=QueryResult([{"a": 1}], ["a"]),
+            setup_time=0.5, host_wait_initial=2.0, host_wait_other=0.5,
+            transfer_time=1.0, host_processing_time=6.0)
+        defaults.update(kwargs)
+        return ExecutionReport(**defaults)
+
+    def test_host_wait_total(self):
+        assert self._report().host_wait_total == 2.5
+
+    def test_stage_shares(self):
+        shares = self._report().host_stage_shares()
+        assert shares["ndp_setup"] == pytest.approx(5.0)
+        assert shares["wait_initial"] == pytest.approx(20.0)
+        assert shares["processing"] == pytest.approx(60.0)
+
+    def test_stage_shares_zero_time(self):
+        assert self._report(total_time=0.0).host_stage_shares() == {}
+
+    def test_summary_text(self):
+        text = self._report().summary()
+        assert "H2" in text and "ms" in text
+
+    def test_device_operation_shares_empty(self):
+        shares = self._report().device_operation_shares()
+        assert all(value == 0.0 for value in shares.values())
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+        report = self._report()
+        report.timeline.append(TimelinePhase("host", "compute", 0.0, 1.0))
+        payload = report.to_dict(include_rows=True, include_timeline=True)
+        text = json.dumps(payload)
+        assert '"strategy": "H2"' in text
+        assert payload["rows"] == [{"a": 1}]
+        assert payload["timeline"][0]["actor"] == "host"
+
+    def test_to_dict_excludes_heavy_fields_by_default(self):
+        payload = self._report().to_dict()
+        assert "rows" not in payload
+        assert "timeline" not in payload

@@ -1,0 +1,139 @@
+"""Tests for work counters and the timing model."""
+
+import pytest
+
+from repro.engine.counters import WorkCounters
+from repro.engine.timing import (ExecutionLocation, HostIOPath,
+                                 TimingBreakdown, TimingModel)
+from repro.errors import ExecutionError
+from repro.lsm.store import ReadStats
+from repro.storage.machines import HOST_I5
+
+
+@pytest.fixture
+def timing(device):
+    return TimingModel(device, HOST_I5)
+
+
+@pytest.fixture
+def blk_timing(device):
+    return TimingModel(device, HOST_I5, io_path=HostIOPath.BLOCK)
+
+
+def counters(**kwargs):
+    result = WorkCounters()
+    for name, value in kwargs.items():
+        setattr(result, name, value)
+    return result
+
+
+class TestWorkCounters:
+    def test_merge(self):
+        a = counters(records_evaluated=5, flash_bytes_read=100)
+        b = counters(records_evaluated=3, hash_probes=7)
+        a.merge(b)
+        assert a.records_evaluated == 8
+        assert a.hash_probes == 7
+        assert a.flash_bytes_read == 100
+
+    def test_copy_is_independent(self):
+        a = counters(records_evaluated=5)
+        b = a.copy()
+        b.records_evaluated += 1
+        assert a.records_evaluated == 5
+
+    def test_absorb_read_stats(self):
+        stats = ReadStats(bytes_read=1000, index_blocks_read=2,
+                          data_blocks_read=3, key_comparisons=10,
+                          cache_hits=4)
+        work = WorkCounters()
+        work.absorb_read_stats(stats)
+        assert work.flash_bytes_read == 1000
+        assert work.index_block_reads == 2
+        assert work.data_block_reads == 3
+        assert work.key_comparisons == 10
+        assert work.block_cache_hits == 4
+
+    def test_as_dict(self):
+        assert counters(output_rows=2).as_dict()["output_rows"] == 2
+
+
+class TestBreakdown:
+    def test_total_sums_categories(self):
+        breakdown = TimingBreakdown(memcmp=1.0, flash_load=2.0, other=0.5)
+        assert breakdown.total == 3.5
+
+    def test_percentages_sum_to_100(self):
+        breakdown = TimingBreakdown(memcmp=1.0, flash_load=3.0)
+        shares = breakdown.percentages()
+        assert sum(shares.values()) == pytest.approx(100.0)
+        assert shares["flash_load"] == pytest.approx(75.0)
+
+    def test_merge(self):
+        a = TimingBreakdown(memcmp=1.0)
+        a.merge(TimingBreakdown(memcmp=2.0, other=1.0))
+        assert a.memcmp == 3.0 and a.other == 1.0
+
+
+class TestCharging:
+    def test_empty_counters_cost_nothing(self, timing):
+        seconds, _ = timing.charge(WorkCounters(), ExecutionLocation.HOST)
+        assert seconds == 0.0
+
+    def test_bad_location_rejected(self, timing):
+        with pytest.raises(ExecutionError):
+            timing.charge(WorkCounters(), "host")
+
+    def test_streaming_work_near_parity_across_locations(self, timing):
+        work = counters(records_evaluated=1_000_000)
+        host, _ = timing.charge(work, ExecutionLocation.HOST)
+        dev, _ = timing.charge(work, ExecutionLocation.DEVICE)
+        # FPGA streaming filter: within ~4x of the host, NOT 31x slower.
+        assert dev < 4 * host
+
+    def test_random_work_pays_device_penalty(self, timing):
+        work = counters(key_comparisons=1_000_000)
+        host, _ = timing.charge(work, ExecutionLocation.HOST)
+        dev, _ = timing.charge(work, ExecutionLocation.DEVICE)
+        assert dev > 1.5 * host
+
+    def test_flash_cheaper_on_device(self, timing):
+        work = counters(flash_bytes_read=64 * 1024 * 1024)
+        host, hb = timing.charge(work, ExecutionLocation.HOST)
+        dev, db = timing.charge(work, ExecutionLocation.DEVICE)
+        assert db.flash_load < hb.flash_load
+        assert dev < host
+
+    def test_blk_path_slower_than_native(self, timing, blk_timing):
+        work = counters(flash_bytes_read=64 * 1024 * 1024)
+        native, _ = timing.charge(work, ExecutionLocation.HOST)
+        blk, _ = blk_timing.charge(work, ExecutionLocation.HOST)
+        assert blk > native
+
+    def test_blk_factor_only_affects_host(self, timing, blk_timing):
+        work = counters(flash_bytes_read=64 * 1024 * 1024)
+        native_dev, _ = timing.charge(work, ExecutionLocation.DEVICE)
+        blk_dev, _ = blk_timing.charge(work, ExecutionLocation.DEVICE)
+        assert native_dev == pytest.approx(blk_dev)
+
+    def test_breakdown_categories_populated(self, timing):
+        work = counters(flash_bytes_read=1024, memcmp_bytes=1024,
+                        key_comparisons=10, index_block_reads=1,
+                        data_block_reads=2, records_evaluated=100,
+                        hash_probes=5, bytes_materialized=256)
+        _, breakdown = timing.charge(work, ExecutionLocation.DEVICE)
+        assert breakdown.flash_load > 0
+        assert breakdown.memcmp > 0
+        assert breakdown.compare_internal_keys > 0
+        assert breakdown.seek_index_block > 0
+        assert breakdown.seek_data_block > 0
+        assert breakdown.selection_processing > 0
+        assert breakdown.other > 0
+
+    def test_transfer_time(self, timing, device):
+        assert timing.transfer_time(1024 * 1024) == pytest.approx(
+            device.link.transfer_time(1024 * 1024))
+
+    def test_command_setup_time(self, timing, device):
+        assert timing.command_setup_time(0) == pytest.approx(
+            2 * device.link.command_latency)

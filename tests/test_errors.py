@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("StorageError", "LSMError", "SchemaError",
+                     "CatalogError", "ParseError", "PlanError",
+                     "ExecutionError", "DeviceOverloadError",
+                     "OffloadError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_device_overload_is_execution_error(self):
+        assert issubclass(errors.DeviceOverloadError,
+                          errors.ExecutionError)
+
+    def test_parse_error_position(self):
+        error = errors.ParseError("bad token", position=17)
+        assert "17" in str(error)
+        assert error.position == 17
+
+    def test_parse_error_without_position(self):
+        error = errors.ParseError("bad token")
+        assert str(error) == "bad token"
+        assert error.position is None
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.LSMError("boom")

@@ -1,0 +1,119 @@
+"""Integration tests: JOB queries end-to-end over every stack.
+
+The decisive invariant: all execution strategies return identical rows.
+A sample of queries spanning small (4-5 tables) to large (14+ tables)
+join graphs runs against the session JOB environment.
+"""
+
+import pytest
+
+from repro.core.strategy import ExecutionStrategy
+from repro.engine.stacks import Stack
+from repro.workloads.job_queries import query
+
+# A cross-section: family sizes 4..14 tables, indexed and not.
+SAMPLE_QUERIES = ["1a", "2d", "3b", "6b", "8c", "11a", "17b", "32a"]
+
+
+@pytest.mark.parametrize("name", SAMPLE_QUERIES)
+def test_all_strategies_agree(job_env, name):
+    sql = query(name)
+    plan = job_env.runner.plan(sql)
+    native = job_env.run(plan, Stack.NATIVE)
+    baseline = native.result.sorted_rows()
+
+    blk = job_env.run(plan, Stack.BLK)
+    assert blk.result.sorted_rows() == baseline
+
+    for k in range(plan.table_count):
+        hybrid = job_env.run(plan, Stack.HYBRID, split_index=k)
+        assert hybrid.result.sorted_rows() == baseline, f"H{k}"
+
+    ndp = job_env.run(plan, Stack.NDP)
+    assert ndp.result.sorted_rows() == baseline
+
+
+@pytest.mark.parametrize("name", SAMPLE_QUERIES)
+def test_simulated_times_positive_and_ordered(job_env, name):
+    sql = query(name)
+    blk = job_env.run(sql, Stack.BLK)
+    native = job_env.run(sql, Stack.NATIVE)
+    assert 0 < native.total_time <= blk.total_time
+
+
+def test_planner_decides_every_sample(job_env):
+    for name in SAMPLE_QUERIES:
+        decision = job_env.decide(query(name))
+        assert decision.strategy in ExecutionStrategy
+        if decision.strategy is ExecutionStrategy.HYBRID:
+            plan = job_env.runner.plan(query(name))
+            assert 0 <= decision.split_index < plan.table_count
+
+
+def test_planner_decision_is_runnable(job_env):
+    for name in ("1a", "8c"):
+        sql = query(name)
+        decision = job_env.decide(sql)
+        if decision.strategy is ExecutionStrategy.HOST_ONLY:
+            report = job_env.run(sql, Stack.NATIVE)
+        elif decision.strategy is ExecutionStrategy.FULL_NDP:
+            report = job_env.run(sql, Stack.NDP)
+        else:
+            report = job_env.run(sql, Stack.HYBRID,
+                                 split_index=decision.split_index)
+        assert report.total_time > 0
+
+
+def test_paper_headline_shape_q8c(job_env):
+    """Fig 2 / Fig 16 shape: some hybrid split beats host-only AND full
+    NDP, and full NDP is worse than host-only for the compute-heavy Q8c."""
+    sql = query("8c")
+    plan = job_env.runner.plan(sql)
+    host = job_env.run(plan, Stack.BLK).total_time
+    full = job_env.run(plan, Stack.NDP).total_time
+    hybrids = [job_env.run(plan, Stack.HYBRID, split_index=k).total_time
+               for k in range(plan.table_count)]
+    assert min(hybrids) < host
+    assert full > host
+    assert min(hybrids) < full
+
+
+def test_mid_split_beats_extremes_q8c(job_env):
+    """The optimal split for Q8c is an interior point (paper: H3)."""
+    sql = query("8c")
+    plan = job_env.runner.plan(sql)
+    times = [job_env.run(plan, Stack.HYBRID, split_index=k).total_time
+             for k in range(plan.table_count)]
+    best = times.index(min(times))
+    assert 0 < best < plan.table_count - 1
+
+
+def test_ndp_on_par_for_favourable_query(job_env):
+    """Fig 11B: Q17b full NDP is around the NATIVE baseline (<= ~1.6x)."""
+    sql = query("17b")
+    native = job_env.run(sql, Stack.NATIVE).total_time
+    ndp = job_env.run(sql, Stack.NDP).total_time
+    assert ndp <= 1.8 * native
+
+
+def test_intermediate_rows_tracked(job_env):
+    sql = query("17b")
+    plan = job_env.runner.plan(sql)
+    counts = []
+    for k in range(plan.table_count - 1):
+        report = job_env.run(plan, Stack.HYBRID, split_index=k)
+        counts.append(report.intermediate_rows)
+    assert any(count > 0 for count in counts)
+
+
+def test_device_overload_forces_smaller_split(job_env):
+    """Q29 joins 17 tables: beyond the 12-with-secondary cap, so the
+    planner must choose a split that fits the device."""
+    sql = query("29a")
+    plan = job_env.runner.plan(sql)
+    assert plan.table_count == 17
+    decision = job_env.decide(plan)
+    if decision.strategy is ExecutionStrategy.HYBRID:
+        fragment = plan.prefix(decision.split_index)
+        ndp = job_env.runner.ndp_engine
+        assert ndp.can_offload(fragment)

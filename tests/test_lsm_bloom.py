@@ -1,0 +1,54 @@
+"""Tests for the bloom filter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.bloom import BloomFilter
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=100)
+        keys = [f"key-{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_mostly_rejects_absent_keys(self):
+        bloom = BloomFilter(expected_items=1000, bits_per_key=10)
+        for i in range(1000):
+            bloom.add(f"present-{i}".encode())
+        false_positives = sum(
+            bloom.might_contain(f"absent-{i}".encode())
+            for i in range(1000))
+        # Theoretical FPR at 10 bits/key is ~1%; allow generous slack.
+        assert false_positives < 60
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(expected_items=10)
+        assert not bloom.might_contain(b"anything")
+
+    def test_contains_operator(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add(b"k")
+        assert b"k" in bloom
+
+    def test_false_positive_rate_estimate(self):
+        bloom = BloomFilter(expected_items=100, bits_per_key=10)
+        assert bloom.false_positive_rate() == 0.0
+        for i in range(100):
+            bloom.add(str(i).encode())
+        assert 0.0 < bloom.false_positive_rate() < 0.05
+
+    def test_size_bytes(self):
+        bloom = BloomFilter(expected_items=1000, bits_per_key=8)
+        assert bloom.size_bytes == (1000 * 8 + 7) // 8
+
+    @given(st.sets(st.binary(min_size=1, max_size=16), min_size=1,
+                   max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_false_negatives(self, keys):
+        bloom = BloomFilter(expected_items=len(keys))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)

@@ -1,0 +1,89 @@
+"""Tests for column families and shared-state snapshots."""
+
+import pytest
+
+from repro.errors import LSMError
+from repro.lsm.snapshot import SharedState
+
+
+class TestColumnFamilies:
+    def test_default_family_exists(self, kv_db):
+        assert "default" in kv_db
+        assert kv_db.column_family("default") is not None
+
+    def test_create_and_use(self, kv_db):
+        cf = kv_db.create_column_family("users")
+        cf.put(b"u1", b"alice")
+        assert cf.get(b"u1") == b"alice"
+
+    def test_families_are_isolated(self, kv_db):
+        a = kv_db.create_column_family("a")
+        b = kv_db.create_column_family("b")
+        a.put(b"k", b"from-a")
+        assert b.get(b"k") is None
+
+    def test_duplicate_name_rejected(self, kv_db):
+        kv_db.create_column_family("x")
+        with pytest.raises(LSMError):
+            kv_db.create_column_family("x")
+
+    def test_unknown_family_rejected(self, kv_db):
+        with pytest.raises(LSMError):
+            kv_db.column_family("ghost")
+
+    def test_drop_family(self, kv_db):
+        kv_db.create_column_family("tmp")
+        kv_db.drop_column_family("tmp")
+        assert "tmp" not in kv_db
+
+    def test_default_family_cannot_be_dropped(self, kv_db):
+        with pytest.raises(LSMError):
+            kv_db.drop_column_family("default")
+
+    def test_families_share_flash(self, kv_db, flash):
+        a = kv_db.create_column_family("a")
+        for i in range(200):
+            a.put(f"{i:05d}".encode(), b"x" * 40)
+        kv_db.flush_all()
+        assert flash.used_pages > 0
+
+    def test_flush_all(self, kv_db):
+        cf = kv_db.create_column_family("t")
+        cf.put(b"k", b"v")
+        kv_db.flush_all()
+        assert len(cf.tree.memtable) == 0
+        assert cf.get(b"k") == b"v"
+
+
+class TestSharedState:
+    def test_captures_memtable_and_placements(self, kv_db):
+        cf = kv_db.create_column_family("t")
+        for i in range(300):
+            cf.put(f"{i:05d}".encode(), b"x" * 30)
+        cf.tree.freeze_and_flush()
+        cf.put(b"zzz-unflushed", b"pending")
+        state = SharedState.capture(kv_db, ["t"])
+        snapshot = state.family("t")
+        assert snapshot.memtable_count == 1
+        assert dict(snapshot.memtable_entries)[b"zzz-unflushed"] == b"pending"
+        assert snapshot.sst_count > 0
+
+    def test_unknown_family_raises(self, kv_db):
+        state = SharedState.capture(kv_db, [])
+        with pytest.raises(KeyError):
+            state.family("ghost")
+
+    def test_payload_bytes_grow_with_state(self, kv_db):
+        cf = kv_db.create_column_family("t")
+        empty = SharedState.capture(kv_db, ["t"])
+        for i in range(50):
+            cf.put(f"{i:04d}".encode(), b"x" * 50)
+        loaded = SharedState.capture(kv_db, ["t"])
+        assert loaded.payload_bytes > empty.payload_bytes
+
+    def test_snapshot_is_immutable_view(self, kv_db):
+        cf = kv_db.create_column_family("t")
+        cf.put(b"k", b"v1")
+        state = SharedState.capture(kv_db, ["t"])
+        cf.put(b"k", b"v2")
+        assert dict(state.family("t").memtable_entries)[b"k"] == b"v1"

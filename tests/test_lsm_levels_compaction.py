@@ -1,0 +1,145 @@
+"""Tests for the level structure and leveled compaction."""
+
+import pytest
+
+from repro.errors import LSMError
+from repro.lsm.compaction import LeveledCompactor
+from repro.lsm.levels import LevelStructure
+from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.sstable import SSTableBuilder
+
+
+def make_sst(keys_values, sst_id=0, level=1):
+    builder = SSTableBuilder(block_size=256)
+    for key, value in sorted(keys_values):
+        builder.add(key, value)
+    return builder.finish(sst_id=sst_id, level=level)
+
+
+def range_sst(lo, hi, sst_id=0, value=b"v", prefix="k"):
+    return make_sst([(f"{prefix}{i:05d}".encode(), value)
+                     for i in range(lo, hi)], sst_id=sst_id)
+
+
+class TestLevelStructure:
+    def test_c1_allows_overlap(self):
+        levels = LevelStructure()
+        levels.add_to_level(1, range_sst(0, 10, 1))
+        levels.add_to_level(1, range_sst(5, 15, 2))
+        assert len(levels.level(1)) == 2
+        levels.check_invariants()
+
+    def test_deeper_levels_reject_overlap(self):
+        levels = LevelStructure()
+        levels.add_to_level(2, range_sst(0, 10, 1))
+        with pytest.raises(LSMError):
+            levels.add_to_level(2, range_sst(5, 15, 2))
+
+    def test_deeper_levels_keep_sorted_order(self):
+        levels = LevelStructure()
+        levels.add_to_level(2, range_sst(20, 30, 1))
+        levels.add_to_level(2, range_sst(0, 10, 2))
+        mins = [sst.min_key for sst in levels.level(2)]
+        assert mins == sorted(mins)
+
+    def test_all_ssts_orders_c1_newest_first(self):
+        levels = LevelStructure()
+        older = range_sst(0, 10, 1)
+        newer = range_sst(0, 10, 2)
+        levels.add_to_level(1, older)
+        levels.add_to_level(1, newer)
+        assert levels.all_ssts()[0] is newer
+
+    def test_candidates_for_key(self):
+        levels = LevelStructure()
+        levels.add_to_level(1, range_sst(0, 10, 1))
+        levels.add_to_level(2, range_sst(0, 5, 2))
+        levels.add_to_level(2, range_sst(5, 10, 3))
+        candidates = levels.candidates_for_key(b"k00007")
+        assert [sst.sst_id for sst in candidates] == [1, 3]
+
+    def test_remove(self):
+        levels = LevelStructure()
+        sst = range_sst(0, 10, 1)
+        levels.add_to_level(1, sst)
+        levels.remove(sst)
+        assert levels.sst_count() == 0
+        with pytest.raises(LSMError):
+            levels.remove(sst)
+
+    def test_level_bounds_checked(self):
+        levels = LevelStructure(max_levels=3)
+        with pytest.raises(LSMError):
+            levels.level(0)
+        with pytest.raises(LSMError):
+            levels.add_to_level(4, range_sst(0, 1, 1))
+
+
+class TestCompaction:
+    def _setup(self, base=1024):
+        levels = LevelStructure()
+        compactor = LeveledCompactor(levels, level_base_bytes=base,
+                                     size_ratio=4,
+                                     sst_target_bytes=base,
+                                     block_size=256)
+        return levels, compactor
+
+    def test_compaction_moves_data_down(self):
+        levels, compactor = self._setup(base=512)
+        levels.add_to_level(1, range_sst(0, 100, 1))
+        assert compactor.needs_compaction(1)
+        compactor.maybe_compact()
+        assert not compactor.needs_compaction(1)
+        assert levels.level(2)
+        levels.check_invariants()
+
+    def test_newest_version_wins(self):
+        levels, compactor = self._setup()
+        levels.add_to_level(1, make_sst([(b"k1", b"old")], sst_id=1))
+        levels.add_to_level(1, make_sst([(b"k1", b"new")], sst_id=2))
+        new_ssts = compactor.compact_level(1)
+        merged = dict(new_ssts[0].iter_all())
+        assert merged[b"k1"] == b"new"
+
+    def test_tombstones_dropped_at_bottom(self):
+        levels, compactor = self._setup()
+        levels.add_to_level(1, make_sst([(b"k1", TOMBSTONE),
+                                         (b"k2", b"live")], sst_id=1))
+        new_ssts = compactor.compact_level(1)
+        merged = dict(new_ssts[0].iter_all())
+        assert b"k1" not in merged
+        assert compactor.stats.tombstones_purged == 1
+
+    def test_tombstones_kept_when_deeper_data_exists(self):
+        levels, compactor = self._setup()
+        levels.add_to_level(3, make_sst([(b"k1", b"ancient")], sst_id=9))
+        levels.add_to_level(1, make_sst([(b"k1", TOMBSTONE)], sst_id=1))
+        new_ssts = compactor.compact_level(1)
+        merged = dict(new_ssts[0].iter_all())
+        assert merged[b"k1"] == TOMBSTONE
+
+    def test_compaction_merges_with_overlap_in_target(self):
+        levels, compactor = self._setup()
+        levels.add_to_level(2, make_sst([(b"k1", b"old"), (b"k3", b"keep")],
+                                        sst_id=9))
+        levels.add_to_level(1, make_sst([(b"k1", b"new")], sst_id=1))
+        compactor.compact_level(1)
+        level2 = levels.level(2)
+        merged = {}
+        for sst in level2:
+            merged.update(dict(sst.iter_all()))
+        assert merged == {b"k1": b"new", b"k3": b"keep"}
+        levels.check_invariants()
+
+    def test_stats_track_bytes(self):
+        levels, compactor = self._setup(base=512)
+        levels.add_to_level(1, range_sst(0, 100, 1))
+        compactor.maybe_compact()
+        assert compactor.stats.compactions >= 1
+        assert compactor.stats.bytes_read > 0
+        assert compactor.stats.bytes_written > 0
+
+    def test_level_targets_grow_by_ratio(self):
+        _levels, compactor = self._setup(base=1000)
+        assert compactor.level_target_bytes(2) == 4000
+        assert compactor.level_target_bytes(3) == 16000

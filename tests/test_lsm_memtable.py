@@ -1,0 +1,73 @@
+"""Tests for the MemTable."""
+
+import pytest
+
+from repro.errors import LSMError
+from repro.lsm.memtable import TOMBSTONE, MemTable
+
+
+class TestWrites:
+    def test_put_get(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        assert table.get(b"k") == (True, b"v")
+
+    def test_missing_key(self):
+        assert MemTable().get(b"nope") == (False, None)
+
+    def test_delete_is_tombstone(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.delete(b"k")
+        found, value = table.get(b"k")
+        assert found is True and value is None
+
+    def test_delete_unknown_key_still_records_tombstone(self):
+        table = MemTable()
+        table.delete(b"ghost")
+        assert table.get(b"ghost") == (True, None)
+        assert dict(table.items())[b"ghost"] == TOMBSTONE
+
+    def test_non_bytes_value_rejected(self):
+        with pytest.raises(LSMError):
+            MemTable().put(b"k", 123)
+
+    def test_byte_size_tracks_content(self):
+        table = MemTable()
+        table.put(b"abc", b"defg")
+        assert table.byte_size == 7
+
+    def test_is_full(self):
+        table = MemTable(size_limit=10)
+        table.put(b"aaaa", b"bbbb")
+        assert not table.is_full()
+        table.put(b"cc", b"dd")
+        assert table.is_full()
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(LSMError):
+            MemTable(size_limit=0)
+
+
+class TestImmutability:
+    def test_frozen_table_rejects_writes(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.freeze()
+        assert table.immutable
+        with pytest.raises(LSMError):
+            table.put(b"x", b"y")
+        with pytest.raises(LSMError):
+            table.delete(b"k")
+
+    def test_frozen_table_still_readable(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.freeze()
+        assert table.get(b"k") == (True, b"v")
+
+    def test_entries_sorted(self):
+        table = MemTable()
+        for key in [b"c", b"a", b"b"]:
+            table.put(key, b"v")
+        assert [k for k, _ in table.entries()] == [b"a", b"b", b"c"]

@@ -1,0 +1,93 @@
+"""Tests for the skiplist."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LSMError
+from repro.lsm.skiplist import SkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert sl.get(b"a") is None
+        assert b"a" not in sl
+        assert sl.first_key() is None
+        assert sl.last_key() is None
+
+    def test_insert_and_get(self):
+        sl = SkipList()
+        sl.insert(b"b", 2)
+        sl.insert(b"a", 1)
+        assert sl.get(b"a") == 1
+        assert sl.get(b"b") == 2
+        assert len(sl) == 2
+
+    def test_overwrite_keeps_size(self):
+        sl = SkipList()
+        sl.insert(b"k", 1)
+        sl.insert(b"k", 2)
+        assert sl.get(b"k") == 2
+        assert len(sl) == 1
+
+    def test_non_bytes_key_rejected(self):
+        with pytest.raises(LSMError):
+            SkipList().insert("text", 1)
+
+    def test_items_are_sorted(self):
+        sl = SkipList()
+        for key in [b"d", b"a", b"c", b"b"]:
+            sl.insert(key, key)
+        assert [k for k, _ in sl.items()] == [b"a", b"b", b"c", b"d"]
+
+    def test_range_iteration(self):
+        sl = SkipList()
+        for i in range(10):
+            sl.insert(bytes([i]), i)
+        got = [v for _, v in sl.items(lo=bytes([3]), hi=bytes([7]))]
+        assert got == [3, 4, 5, 6]
+
+    def test_first_last(self):
+        sl = SkipList()
+        for key in [b"m", b"a", b"z"]:
+            sl.insert(key, None)
+        assert sl.first_key() == b"a"
+        assert sl.last_key() == b"z"
+
+    def test_deterministic_given_seed(self):
+        def build(seed):
+            sl = SkipList(seed=seed)
+            for i in range(100):
+                sl.insert(f"{i:03d}".encode(), i)
+            return sl._level
+        assert build(1) == build(1)
+
+
+class TestPropertyBased:
+    @given(st.dictionaries(st.binary(min_size=1, max_size=12),
+                           st.integers(), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_model(self, model):
+        sl = SkipList()
+        for key, value in model.items():
+            sl.insert(key, value)
+        assert len(sl) == len(model)
+        for key, value in model.items():
+            assert sl.get(key) == value
+        assert [k for k, _ in sl.items()] == sorted(model)
+
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1,
+                    max_size=100),
+           st.binary(min_size=1, max_size=8),
+           st.binary(min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_range_matches_sorted_slice(self, keys, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        sl = SkipList()
+        for key in keys:
+            sl.insert(key, None)
+        expected = sorted(k for k in set(keys) if lo <= k < hi)
+        assert [k for k, _ in sl.items(lo=lo, hi=hi)] == expected

@@ -1,0 +1,137 @@
+"""Tests for SSTables (blocks, sparse index, fences, cache charging)."""
+
+import pytest
+
+from repro.errors import LSMError
+from repro.lsm.cache import BlockCache
+from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.sstable import SSTableBuilder
+from repro.lsm.store import ReadStats
+from repro.storage.flash import FlashDevice
+
+
+def build_sst(n=100, block_size=256, flash=None, value=b"v" * 20):
+    builder = SSTableBuilder(block_size=block_size)
+    for i in range(n):
+        builder.add(f"key-{i:05d}".encode(), value)
+    return builder.finish(flash=flash, sst_id=1, level=1)
+
+
+class TestBuilder:
+    def test_out_of_order_rejected(self):
+        builder = SSTableBuilder()
+        builder.add(b"b", b"v")
+        with pytest.raises(LSMError):
+            builder.add(b"a", b"v")
+
+    def test_duplicate_rejected(self):
+        builder = SSTableBuilder()
+        builder.add(b"a", b"v")
+        with pytest.raises(LSMError):
+            builder.add(b"a", b"v2")
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(LSMError):
+            SSTableBuilder().finish()
+
+    def test_blocks_respect_target_size(self):
+        sst = build_sst(n=100, block_size=256)
+        assert sst.block_count > 1
+
+    def test_flash_allocation(self):
+        flash = FlashDevice()
+        sst = build_sst(flash=flash)
+        assert sst.extent is not None
+        assert sst.extent.nbytes == sst.nbytes
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(LSMError):
+            SSTableBuilder().add("str", b"v")
+
+
+class TestReads:
+    def test_get_present(self):
+        sst = build_sst()
+        found, value = sst.get(b"key-00042")
+        assert found and value == b"v" * 20
+
+    def test_get_absent_inside_range(self):
+        sst = build_sst()
+        assert sst.get(b"key-00042x") == (False, None)
+
+    def test_get_outside_fences_is_free(self):
+        sst = build_sst()
+        stats = ReadStats()
+        assert sst.get(b"zzz", stats) == (False, None)
+        assert stats.data_blocks_read == 0
+
+    def test_tombstone_reported_found_none(self):
+        builder = SSTableBuilder()
+        builder.add(b"a", TOMBSTONE)
+        sst = builder.finish()
+        assert sst.get(b"a") == (True, None)
+
+    def test_full_iteration_in_order(self):
+        sst = build_sst(n=50)
+        keys = [k for k, _ in sst.iter_all()]
+        assert keys == sorted(keys)
+        assert len(keys) == 50
+
+    def test_range_iteration_hi_exclusive(self):
+        sst = build_sst(n=20)
+        keys = [k for k, _ in sst.iter_range(b"key-00005", b"key-00010")]
+        assert keys == [f"key-{i:05d}".encode() for i in range(5, 10)]
+
+    def test_fences(self):
+        sst = build_sst(n=10)
+        assert sst.min_key == b"key-00000"
+        assert sst.max_key == b"key-00009"
+        assert sst.overlaps(b"key-00003", b"key-00004")
+        assert not sst.overlaps(b"zzz", None)
+        assert not sst.overlaps(None, b"a")
+
+    def test_bloom_probe_counted(self):
+        sst = build_sst()
+        stats = ReadStats()
+        sst.might_contain(b"key-00001", stats)
+        sst.might_contain(b"definitely-not-there", stats)
+        assert stats.bloom_probes == 2
+        assert stats.bloom_negatives >= 1
+
+
+class TestStatsCharging:
+    def test_get_charges_index_and_block(self):
+        sst = build_sst()
+        stats = ReadStats()
+        sst.get(b"key-00042", stats)
+        assert stats.index_blocks_read == 1
+        assert stats.data_blocks_read == 1
+        assert stats.bytes_read > 0
+
+    def test_scan_charges_every_block(self):
+        sst = build_sst(n=100, block_size=256)
+        stats = ReadStats()
+        list(sst.iter_all(stats))
+        assert stats.data_blocks_read == sst.block_count
+
+    def test_cache_absorbs_repeat_reads(self):
+        sst = build_sst()
+        cache = BlockCache(10 * 1024 * 1024)
+        first = ReadStats()
+        first.cache = cache
+        sst.get(b"key-00042", first)
+        second = ReadStats()
+        second.cache = cache
+        sst.get(b"key-00042", second)
+        assert first.bytes_read > 0
+        assert second.bytes_read == 0
+        assert second.cache_hits == 2      # index + data block
+
+    def test_tiny_cache_does_not_absorb(self):
+        sst = build_sst()
+        cache = BlockCache(1)    # too small to hold anything
+        stats = ReadStats()
+        stats.cache = cache
+        sst.get(b"key-00042", stats)
+        sst.get(b"key-00042", stats)
+        assert stats.cache_hits == 0

@@ -1,0 +1,100 @@
+"""Tests for atomic write batches and the device bloom toggle."""
+
+import pytest
+
+from repro.errors import LSMError
+from repro.lsm.snapshot import SharedState
+from repro.lsm.store import LSMTree, WriteBatch
+from repro.storage.flash import FlashDevice
+
+from tests.conftest import small_lsm_config
+
+
+def make_tree(**overrides):
+    return LSMTree(config=small_lsm_config(**overrides),
+                   flash=FlashDevice())
+
+
+class TestWriteBatch:
+    def test_chaining_and_len(self):
+        batch = WriteBatch().put(b"a", b"1").delete(b"b")
+        assert len(batch) == 2
+
+    def test_apply(self):
+        tree = make_tree()
+        tree.put(b"b", b"old")
+        batch = WriteBatch().put(b"a", b"1").delete(b"b").put(b"c", b"3")
+        tree.apply_batch(batch)
+        assert tree.get(b"a") == b"1"
+        assert tree.get(b"b") is None
+        assert tree.get(b"c") == b"3"
+
+    def test_order_within_batch(self):
+        tree = make_tree()
+        batch = WriteBatch().put(b"k", b"first").put(b"k", b"second")
+        tree.apply_batch(batch)
+        assert tree.get(b"k") == b"second"
+
+    def test_batch_never_split_by_rotation(self):
+        # Fill the memtable close to its limit, then apply a batch that
+        # overflows it: every batch entry must still be readable.
+        tree = make_tree(memtable_size=256)
+        tree.put(b"filler", b"x" * 200)
+        batch = WriteBatch()
+        for i in range(20):
+            batch.put(f"batch-{i:02d}".encode(), b"y" * 30)
+        tree.apply_batch(batch)
+        for i in range(20):
+            assert tree.get(f"batch-{i:02d}".encode()) == b"y" * 30
+
+    def test_type_validation(self):
+        with pytest.raises(LSMError):
+            WriteBatch().put("str", b"v")
+        with pytest.raises(LSMError):
+            WriteBatch().put(b"k", 1)
+        with pytest.raises(LSMError):
+            WriteBatch().delete("str")
+
+    def test_clear(self):
+        batch = WriteBatch().put(b"a", b"1")
+        batch.clear()
+        assert len(batch) == 0
+
+
+class TestDeviceBloomToggle:
+    def _snapshot_view(self, use_bloom):
+        from repro.lsm.column_family import KVDatabase
+        db = KVDatabase(flash=FlashDevice(),
+                        default_config=small_lsm_config(auto_compact=False))
+        cf = db.create_column_family("t")
+        for batch_n in range(3):
+            for i in range(40):
+                cf.put(f"present-{batch_n}-{i:03d}".encode(), b"v")
+            cf.tree.freeze_and_flush()
+        state = SharedState.capture(db, ["t"])
+        return state.view("t", use_bloom_filters=use_bloom)
+
+    # A key inside SST fences but absent, so only a bloom can prune it.
+    _IN_FENCE_ABSENT = b"present-1-01x"
+
+    def test_default_skips_blooms(self):
+        from repro.lsm.store import ReadStats
+        view = self._snapshot_view(use_bloom=False)
+        stats = ReadStats()
+        assert view.get(self._IN_FENCE_ABSENT, stats=stats) is None
+        assert stats.bloom_probes == 0
+        assert stats.data_blocks_read > 0      # had to read the block
+
+    def test_enabled_blooms_prune_ssts(self):
+        from repro.lsm.store import ReadStats
+        view = self._snapshot_view(use_bloom=True)
+        stats = ReadStats()
+        assert view.get(self._IN_FENCE_ABSENT, stats=stats) is None
+        assert stats.bloom_probes > 0
+        assert stats.ssts_skipped_bloom > 0
+
+    def test_results_identical_either_way(self):
+        plain = self._snapshot_view(use_bloom=False)
+        bloomed = self._snapshot_view(use_bloom=True)
+        for key in (b"present-0-001", b"present-2-039", b"nope"):
+            assert plain.get(key) == bloomed.get(key)

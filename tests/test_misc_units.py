@@ -1,0 +1,115 @@
+"""Additional fast unit tests: join ordering internals, machine spec
+validation, parser error paths, iterator merging."""
+
+import pytest
+
+from repro.errors import ParseError, StorageError
+from repro.lsm.iterator import live_entries, merge_sources
+from repro.lsm.memtable import TOMBSTONE
+from repro.query.join_order import (join_selectivity, order_tables,
+                                    qualify_row)
+from repro.query.logical import analyze
+from repro.query.parser import parse_query
+from repro.storage.machines import DeviceSpec, HostSpec
+
+
+class TestJoinOrderInternals:
+    def _spec(self, sql, catalog):
+        return analyze(parse_query(sql), catalog, sql=sql)
+
+    def test_qualify_row(self):
+        assert qualify_row("t", {"a": 1}) == {"t.a": 1}
+
+    def test_join_selectivity_uses_max_ndv(self, mini_catalog):
+        spec = self._spec(
+            "SELECT t.id FROM title AS t, movie_companies AS mc "
+            "WHERE t.id = mc.movie_id", mini_catalog)
+        sel = join_selectivity(spec, mini_catalog, spec.join_edges[0])
+        # title.id has ~400 distinct values in the fixture.
+        assert 0 < sel <= 1 / 100
+
+    def test_cartesian_fallback(self, mini_catalog):
+        # No join edge at all: ordering must still produce all tables.
+        spec = self._spec(
+            "SELECT t.id FROM title AS t, company_type AS ct "
+            "WHERE t.kind_id = 1 AND ct.kind = 'kind1'", mini_catalog)
+        order, _base, cumulative = order_tables(spec, mini_catalog)
+        assert set(order) == {"t", "ct"}
+        assert len(cumulative) == 2
+
+    def test_single_table_order(self, mini_catalog):
+        spec = self._spec("SELECT t.id FROM title AS t", mini_catalog)
+        order, base, cumulative = order_tables(spec, mini_catalog)
+        assert order == ["t"]
+        assert cumulative == [base["t"]]
+
+
+class TestMachineSpecValidation:
+    def test_host_spec_rejects_nonpositive(self):
+        with pytest.raises(StorageError):
+            HostSpec(cores=0)
+        with pytest.raises(StorageError):
+            HostSpec(coremark=0)
+
+    def test_device_spec_needs_relay_core(self):
+        with pytest.raises(StorageError):
+            DeviceSpec(cores=1, ndp_cores=1)
+
+    def test_device_spec_rejects_nonpositive(self):
+        with pytest.raises(StorageError):
+            DeviceSpec(coremark=0)
+
+    def test_eval_rates_positive(self):
+        assert HostSpec().eval_ops_per_second > 0
+        assert DeviceSpec().eval_ops_per_second > 0
+
+
+class TestParserErrorPaths:
+    @pytest.mark.parametrize("sql", [
+        "SELECT FROM t",                       # empty select list
+        "SELECT t.a FROM",                     # missing table
+        "SELECT t.a FROM t WHERE",             # dangling where
+        "SELECT t.a FROM t WHERE t.a =",       # dangling comparison
+        "SELECT t.a FROM t WHERE t.a IN ()",   # empty IN list
+        "SELECT t.a FROM t WHERE BETWEEN 1 AND 2",
+        "SELECT MIN(t.a FROM t",               # unclosed paren
+        "SELECT t.a FROM t LIMIT x",           # non-numeric limit
+        "SELECT t.a FROM a.b",                 # qualified table name
+    ])
+    def test_rejected(self, sql):
+        with pytest.raises(ParseError):
+            parse_query(sql)
+
+    def test_not_without_predicate_keyword_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE t.a NOT = 1")
+
+
+class TestMergeSources:
+    def test_precedence_shadows_older(self):
+        newer = [(b"a", b"new"), (b"b", b"1")]
+        older = [(b"a", b"old"), (b"c", b"2")]
+        merged = dict(merge_sources([iter(newer), iter(older)]))
+        assert merged == {b"a": b"new", b"b": b"1", b"c": b"2"}
+
+    def test_live_entries_drops_tombstones(self):
+        stream = [(b"a", TOMBSTONE), (b"b", b"v")]
+        assert list(live_entries(iter(stream))) == [(b"b", b"v")]
+
+    def test_tombstone_shadows_older_value(self):
+        newer = [(b"a", TOMBSTONE)]
+        older = [(b"a", b"resurrected?")]
+        merged = list(live_entries(merge_sources(
+            [iter(newer), iter(older)])))
+        assert merged == []
+
+    def test_empty_sources(self):
+        assert list(merge_sources([])) == []
+        assert list(merge_sources([iter([]), iter([])])) == []
+
+    def test_three_way_order(self):
+        a = [(b"1", b"a"), (b"4", b"a")]
+        b = [(b"2", b"b")]
+        c = [(b"3", b"c"), (b"5", b"c")]
+        keys = [k for k, _ in merge_sources([iter(a), iter(b), iter(c)])]
+        assert keys == [b"1", b"2", b"3", b"4", b"5"]

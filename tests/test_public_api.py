@@ -1,0 +1,36 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_classes_exposed(self):
+        assert repro.Stack.HYBRID.value == "hybrid"
+        assert repro.ExecutionStrategy.FULL_NDP.value == "full-ndp"
+        assert repro.COSMOS_PLUS.name == "cosmos-plus"
+
+    def test_open_database_builds_environment(self):
+        env = repro.open_database(scale=0.0002, seed=3)
+        assert env.total_rows > 0
+        assert env.catalog.table("title").row_count > 0
+        report = env.run(
+            "SELECT MIN(t.production_year) AS y FROM title AS t",
+            repro.Stack.NATIVE)
+        assert report.result.rows[0]["y"] is not None
+
+    def test_open_database_deterministic(self):
+        a = repro.open_database(scale=0.0002, seed=3)
+        b = repro.open_database(scale=0.0002, seed=3)
+        assert a.total_rows == b.total_rows
+        sql = "SELECT MIN(t.title) AS x FROM title AS t"
+        ra = a.run(sql, repro.Stack.NATIVE)
+        rb = b.run(sql, repro.Stack.NATIVE)
+        assert ra.result.rows == rb.result.rows
+        assert ra.total_time == rb.total_time

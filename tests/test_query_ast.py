@@ -1,0 +1,128 @@
+"""Tests for expression evaluation semantics (incl. NULL handling)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.query.ast import (And, Between, ColumnRef, Comparison, InList,
+                             IsNull, Like, Literal, Not, Or, conjuncts,
+                             like_to_regex, make_and)
+
+
+def col(name):
+    return ColumnRef("t", name)
+
+
+ROW = {"t.a": 5, "t.s": "hello world", "t.n": None}
+
+
+class TestComparisons:
+    def test_numeric(self):
+        assert Comparison("<", col("a"), Literal(10)).eval(ROW)
+        assert not Comparison(">", col("a"), Literal(10)).eval(ROW)
+
+    def test_null_compares_false(self):
+        assert not Comparison("=", col("n"), Literal(5)).eval(ROW)
+        assert not Comparison("!=", col("n"), Literal(5)).eval(ROW)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Comparison("===", col("a"), Literal(1))
+
+    def test_unbound_column_raises(self):
+        with pytest.raises(PlanError):
+            Comparison("=", ColumnRef("x", "y"), Literal(1)).eval(ROW)
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert Like(col("s"), "%world").eval(ROW)
+        assert Like(col("s"), "hello%").eval(ROW)
+        assert Like(col("s"), "%lo wo%").eval(ROW)
+
+    def test_underscore_wildcard(self):
+        assert Like(col("s"), "hell_ world").eval(ROW)
+        assert not Like(col("s"), "hell_world").eval(ROW)
+
+    def test_regex_metachars_escaped(self):
+        row = {"t.s": "a.b(c)"}
+        assert Like(col("s"), "a.b(c)").eval(row)
+        assert not Like(col("s"), "axb(c)").eval(row)
+
+    def test_negation(self):
+        assert Like(col("s"), "%mars%", negated=True).eval(ROW)
+        assert not Like(col("s"), "%world%", negated=True).eval(ROW)
+
+    def test_null_is_false_even_negated(self):
+        assert not Like(col("n"), "%x%").eval(ROW)
+        assert not Like(col("n"), "%x%", negated=True).eval(ROW)
+
+    def test_like_to_regex(self):
+        assert like_to_regex("a%b_c").match("aXXXbYc")
+
+
+class TestOtherPredicates:
+    def test_in_list(self):
+        assert InList(col("a"), (1, 5, 9)).eval(ROW)
+        assert not InList(col("a"), (2, 3)).eval(ROW)
+        assert InList(col("a"), (2, 3), negated=True).eval(ROW)
+
+    def test_in_list_null_false(self):
+        assert not InList(col("n"), (1, 2)).eval(ROW)
+        assert not InList(col("n"), (1, 2), negated=True).eval(ROW)
+
+    def test_between_inclusive(self):
+        assert Between(col("a"), Literal(5), Literal(10)).eval(ROW)
+        assert Between(col("a"), Literal(1), Literal(5)).eval(ROW)
+        assert not Between(col("a"), Literal(6), Literal(10)).eval(ROW)
+
+    def test_is_null(self):
+        assert IsNull(col("n")).eval(ROW)
+        assert not IsNull(col("a")).eval(ROW)
+        assert IsNull(col("a"), negated=True).eval(ROW)
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        true = Comparison("=", col("a"), Literal(5))
+        false = Comparison("=", col("a"), Literal(6))
+        assert And((true, true)).eval(ROW)
+        assert not And((true, false)).eval(ROW)
+        assert Or((false, true)).eval(ROW)
+        assert not Or((false, false)).eval(ROW)
+        assert Not(false).eval(ROW)
+
+    def test_conjuncts_flattening(self):
+        a = Comparison("=", col("a"), Literal(1))
+        b = Comparison("=", col("a"), Literal(2))
+        c = Comparison("=", col("a"), Literal(3))
+        nested = And((a, And((b, c))))
+        assert conjuncts(nested) == [a, b, c]
+        assert conjuncts(None) == []
+        assert conjuncts(a) == [a]
+
+    def test_make_and(self):
+        a = Comparison("=", col("a"), Literal(1))
+        assert make_and([]) is None
+        assert make_and([a]) is a
+        assert isinstance(make_and([a, a]), And)
+
+
+class TestIntrospection:
+    def test_column_refs_collected(self):
+        expr = And((
+            Comparison("=", col("a"), ColumnRef("s", "b")),
+            Like(col("s"), "%x%"),
+        ))
+        refs = expr.column_refs()
+        assert {(r.alias, r.column) for r in refs} == {
+            ("t", "a"), ("s", "b"), ("t", "s")}
+
+    def test_aliases(self):
+        expr = Comparison("=", col("a"), ColumnRef("other", "b"))
+        assert expr.aliases() == {"t", "other"}
+
+    def test_str_representations(self):
+        assert str(col("a")) == "t.a"
+        assert str(Literal("x")) == "'x'"
+        assert "LIKE" in str(Like(col("s"), "%q%"))
+        assert "BETWEEN" in str(Between(col("a"), Literal(1), Literal(2)))

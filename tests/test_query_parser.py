@@ -1,0 +1,161 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.ast import (And, Between, ColumnRef, Comparison, InList,
+                             IsNull, Like, Literal, Not, Or)
+from repro.query.parser import parse_query, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a.b FROM t WHERE x = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "keyword", "ident",
+                         "keyword", "ident", "op", "number", "eof"]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("SELECT x FROM t WHERE a = 'it''s'")
+        strings = [t for t in tokens if t.kind == "string"]
+        assert strings[0].text == "'it''s'"
+
+    def test_unexpected_char_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @ FROM t")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select X from T")
+        assert tokens[0].text == "select"
+        assert tokens[2].text == "from"
+
+
+class TestSelectList:
+    def test_plain_columns(self):
+        parsed = parse_query("SELECT t.a, t.b FROM t")
+        assert len(parsed.select_items) == 2
+        assert parsed.select_items[0].expr == ColumnRef("t", "a")
+
+    def test_star(self):
+        parsed = parse_query("SELECT * FROM t")
+        assert parsed.select_items[0].expr == "*"
+
+    def test_aggregates_with_alias(self):
+        parsed = parse_query(
+            "SELECT MIN(t.a) AS low, COUNT(*) AS n FROM t")
+        first, second = parsed.select_items
+        assert first.aggregate == "min" and first.alias == "low"
+        assert second.aggregate == "count" and second.expr == "*"
+        assert second.output_name == "n"
+
+    def test_output_name_without_alias(self):
+        parsed = parse_query("SELECT MAX(t.a) FROM t")
+        assert parsed.select_items[0].output_name == "max(t.a)"
+
+
+class TestFromClause:
+    def test_alias_with_as(self):
+        parsed = parse_query("SELECT t.a FROM title AS t")
+        assert parsed.tables == [("title", "t")]
+
+    def test_alias_without_as(self):
+        parsed = parse_query("SELECT t.a FROM title t")
+        assert parsed.tables == [("title", "t")]
+
+    def test_no_alias_defaults_to_name(self):
+        parsed = parse_query("SELECT title.a FROM title")
+        assert parsed.tables == [("title", "title")]
+
+    def test_multiple_tables(self):
+        parsed = parse_query("SELECT a.x FROM t1 AS a, t2 AS b, t3 AS c")
+        assert [alias for _, alias in parsed.tables] == ["a", "b", "c"]
+
+
+class TestPredicates:
+    def _where(self, condition):
+        return parse_query(f"SELECT t.a FROM t WHERE {condition}").where
+
+    def test_comparisons(self):
+        for op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            expr = self._where(f"t.a {op} 5")
+            assert isinstance(expr, Comparison)
+            assert expr.op == op
+            assert expr.right == Literal(5)
+
+    def test_like(self):
+        expr = self._where("t.a LIKE '%x%'")
+        assert isinstance(expr, Like) and not expr.negated
+
+    def test_not_like(self):
+        expr = self._where("t.a NOT LIKE '%x%'")
+        assert isinstance(expr, Like) and expr.negated
+
+    def test_in_list(self):
+        expr = self._where("t.a IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert expr.values == (1, 2, 3)
+
+    def test_not_in(self):
+        expr = self._where("t.a NOT IN ('x', 'y')")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_between(self):
+        expr = self._where("t.a BETWEEN 1 AND 10")
+        assert isinstance(expr, Between)
+        assert expr.low == Literal(1) and expr.high == Literal(10)
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(self._where("t.a IS NULL"), IsNull)
+        expr = self._where("t.a IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_and_flattens(self):
+        expr = self._where("t.a = 1 AND t.b = 2 AND t.c = 3")
+        assert isinstance(expr, And) and len(expr.items) == 3
+
+    def test_or_precedence_lower_than_and(self):
+        expr = self._where("t.a = 1 AND t.b = 2 OR t.c = 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.items[0], And)
+
+    def test_parentheses_override(self):
+        expr = self._where("t.a = 1 AND (t.b = 2 OR t.c = 3)")
+        assert isinstance(expr, And)
+        assert isinstance(expr.items[1], Or)
+
+    def test_not_expression(self):
+        assert isinstance(self._where("NOT t.a = 1"), Not)
+
+    def test_join_condition(self):
+        expr = self._where("t.a = s.b")
+        assert expr.left == ColumnRef("t", "a")
+        assert expr.right == ColumnRef("s", "b")
+
+    def test_negative_numbers(self):
+        expr = self._where("t.a > -5")
+        assert expr.right == Literal(-5)
+
+    def test_float_literal(self):
+        expr = self._where("t.a > 2.5")
+        assert expr.right == Literal(2.5)
+
+
+class TestClauses:
+    def test_group_by(self):
+        parsed = parse_query(
+            "SELECT t.a, COUNT(*) FROM t GROUP BY t.a, t.b")
+        assert [c.column for c in parsed.group_by] == ["a", "b"]
+
+    def test_limit(self):
+        assert parse_query("SELECT t.a FROM t LIMIT 7").limit == 7
+
+    def test_trailing_semicolon_ok(self):
+        parse_query("SELECT t.a FROM t;")
+
+    def test_garbage_after_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t nonsense extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a WHERE t.a = 1")

@@ -1,0 +1,155 @@
+"""Tests for schemas and the fixed-width record codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.encoding import (RecordCodec, composite_key,
+                                       decode_key, encode_key,
+                                       split_composite_key)
+from repro.relational.schema import (Column, DataType, TableSchema,
+                                     char_col, int_col)
+
+
+def sample_schema():
+    return TableSchema(
+        "t",
+        (int_col("id", False), char_col("name", 10), int_col("n"),
+         char_col("code", 3)),
+        "id", ("n",))
+
+
+class TestSchema:
+    def test_record_bytes_is_aligned(self):
+        schema = sample_schema()
+        # bitmap(4) + id(4) + name(12: 10 padded to 12) + n(4) + code(4)
+        assert schema.record_bytes == 4 + 4 + 12 + 4 + 4
+
+    def test_storage_width_alignment(self):
+        assert Column("c", DataType.CHAR, 10).storage_width == 12
+        assert Column("c", DataType.CHAR, 8).storage_width == 8
+
+    def test_int_width_fixed(self):
+        with pytest.raises(SchemaError):
+            Column("c", DataType.INT, 8)
+
+    def test_projection_bytes(self):
+        schema = sample_schema()
+        assert schema.projection_bytes(["id", "name"]) == 16
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (int_col("a"), int_col("a")), "a")
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (int_col("a"),), "missing")
+
+    def test_index_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (int_col("a", False),), "a", ("ghost",))
+
+    def test_column_lookup(self):
+        schema = sample_schema()
+        assert schema.column("name").width == 10
+        assert schema.column_index("n") == 2
+        with pytest.raises(SchemaError):
+            schema.column("ghost")
+
+
+class TestKeyEncoding:
+    def test_int_keys_preserve_order(self):
+        values = [-100, -1, 0, 1, 7, 1000, 2**31 - 1, -(2**31)]
+        encoded = sorted(encode_key(v) for v in values)
+        assert [decode_key(raw) for raw in encoded] == sorted(values)
+
+    def test_string_keys_padded(self):
+        assert encode_key("ab", width=4) == b"ab  "
+        assert encode_key("abcdef", width=4) == b"abcd"
+
+    def test_roundtrip_int(self):
+        assert decode_key(encode_key(42)) == 42
+
+    def test_composite_split(self):
+        raw = composite_key(b"secondary", encode_key(7))
+        secondary, primary = split_composite_key(raw)
+        assert secondary == b"secondary"
+        assert decode_key(primary) == 7
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_key(3.14)
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62 - 1),
+           st.integers(min_value=-(2**62), max_value=2**62 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_property_order_preserving(self, a, b):
+        assert (a < b) == (encode_key(a) < encode_key(b))
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        codec = RecordCodec(sample_schema())
+        row = {"id": 7, "name": "alice", "n": -3, "code": "xy"}
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_nulls_roundtrip(self):
+        codec = RecordCodec(sample_schema())
+        row = {"id": 1, "name": None, "n": None, "code": "z"}
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_not_null_enforced(self):
+        codec = RecordCodec(sample_schema())
+        with pytest.raises(SchemaError):
+            codec.encode({"id": None, "name": "x", "n": 1, "code": "y"})
+
+    def test_string_trimmed_to_width(self):
+        codec = RecordCodec(sample_schema())
+        row = codec.decode(codec.encode(
+            {"id": 1, "name": "a-very-long-name", "n": 0, "code": "abc"}))
+        assert row["name"] == "a-very-lon"
+
+    def test_int_range_enforced(self):
+        codec = RecordCodec(sample_schema())
+        with pytest.raises(SchemaError):
+            codec.encode({"id": 2**40, "name": "x", "n": 0, "code": "y"})
+
+    def test_type_mismatch_rejected(self):
+        codec = RecordCodec(sample_schema())
+        with pytest.raises(SchemaError):
+            codec.encode({"id": "not-an-int", "name": "x", "n": 0,
+                          "code": "y"})
+
+    def test_fixed_size(self):
+        codec = RecordCodec(sample_schema())
+        a = codec.encode({"id": 1, "name": "a", "n": 0, "code": "b"})
+        b = codec.encode({"id": 2, "name": "longername", "n": 9,
+                          "code": "zzz"})
+        assert len(a) == len(b) == codec.record_bytes
+
+    def test_decode_wrong_size_rejected(self):
+        codec = RecordCodec(sample_schema())
+        with pytest.raises(SchemaError):
+            codec.decode(b"short")
+
+    def test_decode_columns_projection(self):
+        codec = RecordCodec(sample_schema())
+        raw = codec.encode({"id": 7, "name": "bob", "n": 5, "code": "q"})
+        assert codec.decode_columns(raw, ["n", "id"]) == {"n": 5, "id": 7}
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+           st.text(max_size=15),
+           st.one_of(st.none(),
+                     st.integers(min_value=-(2**31), max_value=2**31 - 1)))
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, pk, name, n):
+        codec = RecordCodec(sample_schema())
+        row = {"id": pk, "name": name, "n": n, "code": None}
+        decoded = codec.decode(codec.encode(row))
+        assert decoded["id"] == pk
+        assert decoded["n"] == n
+        # CHAR semantics: trailing spaces are not preserved, width capped.
+        expected = name.encode("utf-8", errors="replace")[:10]
+        expected = expected.decode("utf-8", errors="replace").rstrip(" ")
+        assert decoded["name"] == expected

@@ -1,0 +1,187 @@
+"""Tests for relational tables, secondary indexes, and the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.lsm.store import ReadStats
+from repro.relational.catalog import Catalog
+from repro.relational.schema import TableSchema, char_col, int_col
+
+
+@pytest.fixture
+def people(kv_db):
+    catalog = Catalog(kv_db)
+    table = catalog.create_table(TableSchema(
+        "people",
+        (int_col("id", False), char_col("name", 16), int_col("age"),
+         char_col("city", 12)),
+        "id", ("age", "city")))
+    rows = [
+        {"id": 1, "name": "alice", "age": 30, "city": "berlin"},
+        {"id": 2, "name": "bob", "age": 25, "city": "paris"},
+        {"id": 3, "name": "carol", "age": 30, "city": "berlin"},
+        {"id": 4, "name": "dave", "age": None, "city": "rome"},
+    ]
+    table.insert_many(rows)
+    table.flush()
+    return table
+
+
+class TestInsertGet:
+    def test_get_by_pk(self, people):
+        row = people.get_by_pk(2)
+        assert row["name"] == "bob" and row["age"] == 25
+
+    def test_get_missing(self, people):
+        assert people.get_by_pk(99) is None
+
+    def test_pk_required(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"name": "no-id"})
+
+    def test_row_count(self, people):
+        assert people.row_count == 4
+
+
+class TestScan:
+    def test_full_scan(self, people):
+        assert len(list(people.scan())) == 4
+
+    def test_scan_predicate(self, people):
+        rows = list(people.scan(predicate=lambda r: r["age"] == 30))
+        assert {r["name"] for r in rows} == {"alice", "carol"}
+
+    def test_scan_projection(self, people):
+        rows = list(people.scan(projection=["name"]))
+        assert all(set(r) == {"name"} for r in rows)
+
+    def test_pk_range_scan(self, people):
+        rows = list(people.scan(pk_lo=2, pk_hi=3))
+        assert [r["id"] for r in rows] == [2, 3]
+
+
+class TestSecondaryIndexes:
+    def test_index_lookup(self, people):
+        rows = list(people.index_lookup("age", 30))
+        assert {r["id"] for r in rows} == {1, 3}
+
+    def test_index_lookup_string_column(self, people):
+        rows = list(people.index_lookup("city", "berlin"))
+        assert {r["id"] for r in rows} == {1, 3}
+
+    def test_null_values_not_indexed(self, people):
+        index = people.index_on("age")
+        all_keys = list(index.primary_keys_in_range())
+        # dave (age NULL) is absent: 3 of 4 rows indexed.
+        assert len(all_keys) == 3
+
+    def test_lookup_performs_double_seek(self, people):
+        stats = ReadStats()
+        list(people.index_lookup("age", 30, stats=stats))
+        # Secondary CF scan plus one primary GET per match.
+        assert stats.ssts_considered >= 1
+
+    def test_missing_index_rejected(self, people):
+        with pytest.raises(CatalogError):
+            people.index_on("name")
+
+    def test_has_index_on(self, people):
+        assert people.has_index_on("age")
+        assert people.has_index_on("id")      # primary key counts
+        assert not people.has_index_on("name")
+
+    def test_delete_cleans_indexes(self, people):
+        assert people.delete(1) is True
+        assert people.get_by_pk(1) is None
+        assert {r["id"] for r in people.index_lookup("age", 30)} == {3}
+
+    def test_delete_missing_returns_false(self, people):
+        assert people.delete(99) is False
+
+    def test_index_range(self, people):
+        index = people.index_on("age")
+        keys = list(index.primary_keys_in_range(lo=26, hi=35))
+        assert len(keys) == 2
+
+
+class TestUpdate:
+    def test_update_changes_values(self, people):
+        new_row = people.update(2, {"age": 26})
+        assert new_row["age"] == 26
+        assert people.get_by_pk(2)["age"] == 26
+
+    def test_update_maintains_secondary_index(self, people):
+        people.update(2, {"age": 30})
+        assert {r["id"] for r in people.index_lookup("age", 30)} == {
+            1, 2, 3}
+        assert not list(people.index_lookup("age", 25))
+
+    def test_update_to_null_deindexes(self, people):
+        people.update(1, {"age": None})
+        assert {r["id"] for r in people.index_lookup("age", 30)} == {3}
+
+    def test_update_missing_row(self, people):
+        assert people.update(999, {"age": 1}) is None
+
+    def test_update_pk_rejected(self, people):
+        with pytest.raises(SchemaError):
+            people.update(1, {"id": 2})
+
+    def test_update_unknown_column_rejected(self, people):
+        with pytest.raises(SchemaError):
+            people.update(1, {"ghost": 1})
+
+    def test_update_unindexed_column(self, people):
+        people.update(1, {"name": "renamed"})
+        assert people.get_by_pk(1)["name"] == "renamed"
+        assert {r["id"] for r in people.index_lookup("age", 30)} == {1, 3}
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self, kv_db):
+        catalog = Catalog(kv_db)
+        schema = TableSchema("t", (int_col("id", False),), "id")
+        catalog.create_table(schema)
+        with pytest.raises(CatalogError):
+            catalog.create_table(schema)
+
+    def test_missing_table_rejected(self, kv_db):
+        with pytest.raises(CatalogError):
+            Catalog(kv_db).table("ghost")
+
+    def test_column_families_per_table(self, people):
+        families = people.column_families()
+        assert "people" in families
+        assert "people.idx_age" in families
+        assert "people.idx_city" in families
+
+    def test_totals(self, people):
+        assert people.total_bytes == 4 * people.record_bytes
+
+
+class TestStatistics:
+    def test_selectivity_from_sample(self, people):
+        stats = people.statistics
+        sel = stats.selectivity(lambda r: r["age"] == 30)
+        assert 0.2 < sel < 0.8
+
+    def test_column_minmax(self, people):
+        col = people.statistics.column("age")
+        assert col.min_value == 25 and col.max_value == 30
+        assert col.n_nulls == 1
+
+    def test_distinct_estimate(self, people):
+        assert people.statistics.column("city").distinct_estimate == 3
+
+    def test_equality_selectivity(self, people):
+        assert people.statistics.equality_selectivity("city") == (
+            pytest.approx(1 / 3))
+
+    def test_range_selectivity(self, people):
+        sel = people.statistics.range_selectivity("age", lo=25, hi=30)
+        assert sel == pytest.approx(1.0)
+        tiny = people.statistics.range_selectivity("age", lo=40, hi=50)
+        assert tiny < 0.5
+
+    def test_estimated_rows_floor(self, people):
+        assert people.statistics.estimated_rows(0.0) == 1

@@ -1,0 +1,154 @@
+"""Tests for the simulated-time kernel (clock, events, resources)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import BusyResource, EventLoop, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ReproError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ReproError):
+            clock.advance(-0.1)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_never_rewinds(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(3.0)
+        assert clock.now == 10.0
+
+    def test_reset(self):
+        clock = SimClock(start=4.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        loop = EventLoop(clock)
+        fired = []
+        loop.schedule_at(2.0, lambda: fired.append("b"))
+        loop.schedule_at(1.0, lambda: fired.append("a"))
+        loop.schedule_at(3.0, lambda: fired.append("c"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert clock.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop(SimClock())
+        fired = []
+        for name in "xyz":
+            loop.schedule_at(1.0, lambda n=name: fired.append(n))
+        loop.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_schedule_after_uses_relative_delay(self):
+        clock = SimClock(start=5.0)
+        loop = EventLoop(clock)
+        seen = []
+        loop.schedule_after(2.5, lambda: seen.append(clock.now))
+        loop.run()
+        assert seen == [7.5]
+
+    def test_scheduling_in_the_past_rejected(self):
+        clock = SimClock(start=5.0)
+        loop = EventLoop(clock)
+        with pytest.raises(ReproError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_actions_may_schedule_more_events(self):
+        clock = SimClock()
+        loop = EventLoop(clock)
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule_after(1.0, lambda: chain(n + 1))
+
+        loop.schedule_at(0.0, lambda: chain(0))
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+        assert clock.now == 3.0
+
+    def test_runaway_guard(self):
+        loop = EventLoop(SimClock())
+
+        def forever():
+            loop.schedule_after(1.0, forever)
+
+        loop.schedule_at(0.0, forever)
+        with pytest.raises(ReproError):
+            loop.run(max_events=100)
+
+    def test_step_returns_none_on_empty_queue(self):
+        assert EventLoop(SimClock()).step() is None
+
+    def test_counters(self):
+        loop = EventLoop(SimClock())
+        loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        assert loop.pending == 2
+        loop.run()
+        assert loop.fired == 2
+        assert loop.pending == 0
+
+
+class TestBusyResource:
+    def test_idle_resource_serves_immediately(self):
+        resource = BusyResource("pcie")
+        begin, end = resource.acquire(1.0, 0.5)
+        assert (begin, end) == (1.0, 1.5)
+
+    def test_queued_request_waits(self):
+        resource = BusyResource("pcie")
+        resource.acquire(0.0, 2.0)
+        begin, end = resource.acquire(1.0, 1.0)
+        assert (begin, end) == (2.0, 3.0)
+        assert resource.wait_time == 1.0
+
+    def test_busy_time_accumulates(self):
+        resource = BusyResource("core")
+        resource.acquire(0.0, 1.0)
+        resource.acquire(5.0, 2.0)
+        assert resource.busy_time == 3.0
+        assert resource.requests == 2
+
+    def test_utilization(self):
+        resource = BusyResource("core")
+        resource.acquire(0.0, 2.0)
+        assert resource.utilization(4.0) == 0.5
+        assert resource.utilization(0.0) == 0.0
+
+    def test_utilization_capped_at_one(self):
+        resource = BusyResource("core")
+        resource.acquire(0.0, 10.0)
+        assert resource.utilization(5.0) == 1.0
+
+    def test_reset(self):
+        resource = BusyResource("core")
+        resource.acquire(0.0, 2.0)
+        resource.reset()
+        assert resource.free_at == 0.0
+        assert resource.busy_time == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the flash device model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.flash import FlashDevice, FlashGeometry
+
+
+class TestFlashGeometry:
+    def test_defaults(self):
+        geometry = FlashGeometry()
+        assert geometry.page_size == 16 * 1024
+        assert geometry.channels == 8
+
+    def test_internal_bandwidth_is_channel_aggregate(self):
+        geometry = FlashGeometry(channels=4, channel_read_bandwidth=100e6)
+        assert geometry.internal_read_bandwidth == 400e6
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(StorageError):
+            FlashGeometry(page_size=0)
+        with pytest.raises(StorageError):
+            FlashGeometry(channels=0)
+
+
+class TestAllocation:
+    def test_allocate_rounds_to_pages(self):
+        flash = FlashDevice()
+        extent = flash.allocate(1)
+        assert extent.page_count == 1
+        extent2 = flash.allocate(flash.geometry.page_size + 1)
+        assert extent2.page_count == 2
+
+    def test_extents_do_not_overlap(self):
+        flash = FlashDevice()
+        first = flash.allocate(100_000)
+        second = flash.allocate(100_000)
+        assert second.start_page == first.end_page
+
+    def test_capacity_enforced(self):
+        geometry = FlashGeometry()
+        flash = FlashDevice(geometry=geometry,
+                            capacity_bytes=4 * geometry.page_size)
+        flash.allocate(3 * geometry.page_size)
+        with pytest.raises(StorageError):
+            flash.allocate(2 * geometry.page_size)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            FlashDevice().allocate(-1)
+
+    def test_placement_entry(self):
+        flash = FlashDevice()
+        extent = flash.allocate(50_000, owner="sst-1")
+        placement = flash.placement_of(extent)
+        assert placement["start_page"] == extent.start_page
+        assert placement["nbytes"] == 50_000
+
+    def test_free_is_idempotent(self):
+        flash = FlashDevice()
+        extent = flash.allocate(100)
+        flash.free(extent)
+        flash.free(extent)   # no error
+
+
+class TestTiming:
+    def test_zero_bytes_is_free(self):
+        flash = FlashDevice()
+        assert flash.internal_read_time(0) == 0.0
+        assert flash.external_read_time(0) == 0.0
+        assert flash.write_time(0) == 0.0
+
+    def test_internal_faster_than_external_for_streams(self):
+        flash = FlashDevice()
+        nbytes = 64 * 1024 * 1024
+        assert flash.internal_read_time(nbytes) < flash.external_read_time(
+            nbytes)
+
+    def test_read_time_monotonic_in_size(self):
+        flash = FlashDevice()
+        small = flash.internal_read_time(16 * 1024)
+        large = flash.internal_read_time(16 * 1024 * 1024)
+        assert large > small
+
+    def test_single_page_pays_full_sense_latency(self):
+        flash = FlashDevice()
+        one_page = flash.geometry.page_size
+        assert flash.external_read_time(one_page) >= (
+            flash.geometry.page_read_latency)
+
+    def test_write_slower_than_read(self):
+        flash = FlashDevice()
+        nbytes = 8 * 1024 * 1024
+        assert flash.write_time(nbytes) > flash.internal_read_time(nbytes)
+
+    def test_counters_track_pages(self):
+        flash = FlashDevice()
+        flash.internal_read_time(flash.geometry.page_size * 3)
+        assert flash.counters.pages_read == 3
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(StorageError):
+            FlashDevice().internal_read_time(-1)

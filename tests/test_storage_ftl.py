@@ -1,0 +1,116 @@
+"""Tests for the GreedyFTL model (BLK baseline substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.ftl import GreedyFTL
+
+
+class TestBasicIO:
+    def test_write_then_read(self):
+        ftl = GreedyFTL(blocks=8, pages_per_block=8)
+        ftl.write(5)
+        block, slot = ftl.read(5)
+        assert 0 <= block < 8 and 0 <= slot < 8
+
+    def test_read_unwritten_rejected(self):
+        with pytest.raises(StorageError):
+            GreedyFTL().read(3)
+
+    def test_negative_lpn_rejected(self):
+        with pytest.raises(StorageError):
+            GreedyFTL().write(-1)
+
+    def test_overwrite_moves_physical_location(self):
+        ftl = GreedyFTL(blocks=8, pages_per_block=8)
+        ftl.write(1)
+        first = ftl.read(1)
+        ftl.write(1)
+        second = ftl.read(1)
+        assert first != second
+
+    def test_capacity_enforced(self):
+        ftl = GreedyFTL(blocks=4, pages_per_block=4)
+        for lpn in range(ftl.user_capacity_pages):
+            ftl.write(lpn)
+        with pytest.raises(StorageError):
+            ftl.write(999)
+
+
+class TestGarbageCollection:
+    def test_gc_triggered_by_overwrites(self):
+        ftl = GreedyFTL(blocks=6, pages_per_block=8)
+        # Repeatedly overwrite a small working set: GC must reclaim.
+        for i in range(400):
+            ftl.write(i % 8)
+        assert ftl.stats.gc_runs > 0
+        assert ftl.stats.blocks_erased > 0
+        ftl.check_invariants()
+
+    def test_write_amplification_above_one_under_pressure(self):
+        ftl = GreedyFTL(blocks=6, pages_per_block=8)
+        for lpn in range(ftl.user_capacity_pages):
+            ftl.write(lpn)
+        rng = random.Random(5)
+        for _ in range(500):
+            ftl.write(rng.randrange(ftl.user_capacity_pages))
+        assert ftl.stats.write_amplification > 1.0
+        ftl.check_invariants()
+
+    def test_sequential_writes_have_wa_one(self):
+        ftl = GreedyFTL(blocks=16, pages_per_block=8)
+        for lpn in range(32):
+            ftl.write(lpn)
+        assert ftl.stats.write_amplification == 1.0
+
+    def test_all_data_survives_gc(self):
+        ftl = GreedyFTL(blocks=6, pages_per_block=8)
+        rng = random.Random(7)
+        live = set()
+        for _ in range(600):
+            lpn = rng.randrange(20)
+            ftl.write(lpn)
+            live.add(lpn)
+        for lpn in live:
+            ftl.read(lpn)       # must all still resolve
+        ftl.check_invariants()
+
+
+class TestMapCache:
+    def test_small_cache_misses(self):
+        ftl = GreedyFTL(blocks=16, pages_per_block=16,
+                        map_cache_bytes=32, map_entry_bytes=8)
+        for lpn in range(64):
+            ftl.write(lpn)
+        for lpn in range(64):
+            ftl.read(lpn)
+        assert ftl.stats.map_misses > ftl.stats.map_hits
+
+    def test_large_cache_hits_on_reread(self):
+        ftl = GreedyFTL(blocks=16, pages_per_block=16,
+                        map_cache_bytes=1024 * 1024)
+        for lpn in range(32):
+            ftl.write(lpn)
+        for lpn in range(32):
+            ftl.read(lpn)
+        assert ftl.stats.map_hits > 0
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=0, max_value=15),
+                    min_size=1, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_mapping_always_consistent(self, writes):
+        # 16 distinct logical pages need user capacity >= 16:
+        # (8 blocks - 2 watermark - 1 active) * 8 pages = 40.
+        ftl = GreedyFTL(blocks=8, pages_per_block=8)
+        for lpn in writes:
+            ftl.write(lpn)
+        ftl.check_invariants()
+        for lpn in set(writes):
+            ftl.read(lpn)
+        assert ftl.stats.physical_writes >= ftl.stats.logical_writes

@@ -1,0 +1,63 @@
+"""Tests for the PCIe link model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.interconnect import PCIeLink
+
+
+class TestBandwidth:
+    def test_paper_link_is_pcie2_x8(self):
+        link = PCIeLink(version=2, lanes=8)
+        # 5 GT/s * 8b/10b * 8 lanes / 8 bits = 4 GB/s raw payload.
+        assert link.raw_bandwidth == pytest.approx(4.0e9)
+        assert link.bandwidth == pytest.approx(3.2e9)
+
+    def test_gen3_uses_128b130b(self):
+        link = PCIeLink(version=3, lanes=1)
+        assert link.raw_bandwidth == pytest.approx(8e9 * 128 / 130 / 8)
+
+    def test_bandwidth_scales_with_lanes(self):
+        narrow = PCIeLink(version=2, lanes=4)
+        wide = PCIeLink(version=2, lanes=8)
+        assert wide.bandwidth == pytest.approx(2 * narrow.bandwidth)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(StorageError):
+            PCIeLink(version=7)
+
+    def test_bad_lane_count_rejected(self):
+        with pytest.raises(StorageError):
+            PCIeLink(version=2, lanes=3)
+
+
+class TestTransferTime:
+    def test_includes_command_latency(self):
+        link = PCIeLink(version=2, lanes=8, command_latency=1e-5)
+        assert link.transfer_time(0) == pytest.approx(1e-5)
+
+    def test_linear_in_bytes(self):
+        link = PCIeLink(version=2, lanes=8, command_latency=0.0)
+        one = link.transfer_time(1_000_000)
+        two = link.transfer_time(2_000_000)
+        assert two == pytest.approx(2 * one)
+
+    def test_multiple_commands_add_latency(self):
+        link = PCIeLink(version=2, lanes=8, command_latency=1e-5)
+        assert link.transfer_time(0, commands=5) == pytest.approx(5e-5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            PCIeLink().transfer_time(-1)
+
+
+class TestCostFactor:
+    def test_reference_link_costs_one(self):
+        assert PCIeLink(version=3, lanes=16).cost_factor() == pytest.approx(
+            1.0)
+
+    def test_slower_links_cost_more(self):
+        assert PCIeLink(version=2, lanes=8).cost_factor() > 1.0
+
+    def test_faster_links_cost_less(self):
+        assert PCIeLink(version=5, lanes=16).cost_factor() < 1.0

@@ -1,0 +1,49 @@
+"""Tests for the §3.1 hardware profiler."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.machines import HOST_I5
+from repro.storage.profiler import HardwareProfiler
+
+
+@pytest.fixture
+def report(device):
+    return HardwareProfiler(device, HOST_I5).run()
+
+
+class TestProfiler:
+    def test_compute_gap_matches_coremark(self, report):
+        assert report.compute_gap == pytest.approx(92343.0 / 2964.0,
+                                                   rel=1e-3)
+
+    def test_memcpy_rates_recovered(self, report, device):
+        assert report.device_memcpy_bandwidth == pytest.approx(
+            device.spec.memcpy_bandwidth, rel=1e-6)
+        assert report.host_memcpy_bandwidth == pytest.approx(
+            HOST_I5.memcpy_bandwidth, rel=1e-6)
+
+    def test_handshake_probe_recovers_link_parameters(self, report, device):
+        assert report.pcie_bandwidth == pytest.approx(
+            device.link.bandwidth, rel=0.02)
+        assert report.pcie_command_latency == pytest.approx(
+            device.link.command_latency, rel=0.05)
+
+    def test_flash_page_rates_internal_beats_external(self, report):
+        assert report.device_flash_page_rate > report.host_flash_page_rate
+
+    def test_memory_sizes_copied(self, report, device):
+        assert report.device_memory_bytes == device.spec.dram_bytes
+        assert report.host_memory_bytes == HOST_I5.memory_bytes
+        assert report.device_selection_buffer_bytes == (
+            device.spec.selection_buffer_bytes)
+
+    def test_probe_details_present(self, report):
+        assert set(report.probes) >= {"memcpy_device", "memcpy_host",
+                                      "flops_device", "flops_host",
+                                      "flash_internal", "flash_external",
+                                      "handshake"}
+
+    def test_requires_device_and_host(self):
+        with pytest.raises(StorageError):
+            HardwareProfiler(None, HOST_I5)

@@ -1,0 +1,130 @@
+"""Tests for update-aware, intervention-free NDP (paper §2.1).
+
+The NDP command carries a shared-state snapshot; on-device execution
+must (a) see unflushed MemTable updates that existed at command time,
+and (b) NOT see host writes issued after the command was prepared.
+"""
+
+import pytest
+
+from repro.engine.stacks import Stack, StackRunner
+from repro.errors import CatalogError
+from repro.lsm.snapshot import SharedState
+from repro.query.ast import conjuncts
+from repro.relational.snapshot_table import SnapshotCatalog, SnapshotTable
+from repro.storage.device import SmartStorageDevice
+
+from tests.conftest import MINI_JOIN_SQL
+
+
+@pytest.fixture
+def runner(mini_catalog, kv_db, flash):
+    return StackRunner(mini_catalog, kv_db,
+                       SmartStorageDevice(flash=flash), buffer_scale=0.001)
+
+
+class TestSnapshotTable:
+    def test_sees_unflushed_updates(self, mini_catalog, kv_db):
+        title = mini_catalog.table("title")
+        title.insert({"id": 9000, "title": "Unflushed",
+                      "production_year": 1970, "kind_id": 1})
+        state = SharedState.capture(kv_db, title.column_families())
+        snap = SnapshotTable(title, state)
+        row = snap.get_by_pk(9000)
+        assert row["title"] == "Unflushed"
+
+    def test_blind_to_later_writes(self, mini_catalog, kv_db):
+        title = mini_catalog.table("title")
+        state = SharedState.capture(kv_db, title.column_families())
+        snap = SnapshotTable(title, state)
+        title.insert({"id": 9001, "title": "Later",
+                      "production_year": 1980, "kind_id": 1})
+        assert snap.get_by_pk(9001) is None
+        assert title.get_by_pk(9001) is not None
+
+    def test_blind_to_later_deletes(self, mini_catalog, kv_db):
+        title = mini_catalog.table("title")
+        state = SharedState.capture(kv_db, title.column_families())
+        snap = SnapshotTable(title, state)
+        title.delete(5)
+        assert snap.get_by_pk(5) is not None
+        assert title.get_by_pk(5) is None
+
+    def test_scan_matches_live_at_capture_time(self, mini_catalog, kv_db):
+        title = mini_catalog.table("title")
+        live = sorted(r["id"] for r in title.scan())
+        state = SharedState.capture(kv_db, title.column_families())
+        snap = SnapshotTable(title, state)
+        assert sorted(r["id"] for r in snap.scan()) == live
+
+    def test_secondary_index_lookup_through_snapshot(self, mini_catalog,
+                                                     kv_db):
+        title = mini_catalog.table("title")
+        state = SharedState.capture(kv_db, title.column_families())
+        snap = SnapshotTable(title, state)
+        live = sorted(r["id"] for r in
+                      title.index_lookup("production_year", 1999))
+        got = sorted(r["id"] for r in
+                     snap.index_lookup("production_year", 1999))
+        assert got == live and got
+
+    def test_missing_index_rejected(self, mini_catalog, kv_db):
+        title = mini_catalog.table("title")
+        state = SharedState.capture(kv_db, title.column_families())
+        snap = SnapshotTable(title, state)
+        with pytest.raises(CatalogError):
+            list(snap.index_lookup("kind_id", 1))
+
+    def test_pk_range_scan(self, mini_catalog, kv_db):
+        title = mini_catalog.table("title")
+        state = SharedState.capture(kv_db, title.column_families())
+        snap = SnapshotTable(title, state)
+        ids = [r["id"] for r in snap.scan(pk_lo=10, pk_hi=12)]
+        assert ids == [10, 11, 12]
+
+
+class TestSnapshotCatalog:
+    def test_resolves_only_command_tables(self, mini_catalog, kv_db):
+        title = mini_catalog.table("title")
+        state = SharedState.capture(kv_db, title.column_families())
+        catalog = SnapshotCatalog(mini_catalog, state, {"title"})
+        assert catalog.table("title").name == "title"
+        with pytest.raises(CatalogError):
+            catalog.table("movie_companies")
+
+
+class TestEndToEndUpdateAwareness:
+    def test_ndp_result_pinned_against_concurrent_writes(self, runner,
+                                                         mini_catalog):
+        plan = runner.plan(MINI_JOIN_SQL)
+        ndp = runner.ndp_engine
+        device_residual = [c for c in conjuncts(plan.residual) or []]
+        command = ndp.prepare_command(plan, plan.entries,
+                                      device_residual,
+                                      aggregates_on_device=True)
+        # Concurrent host write AFTER the command was prepared: a movie
+        # that would change MIN(t.title) if visible.
+        mini_catalog.table("title").insert(
+            {"id": 9100, "title": "AAA First", "production_year": 1970,
+             "kind_id": 0})
+        mini_catalog.table("movie_companies").insert(
+            {"id": 9100, "movie_id": 9100, "company_type_id": 0,
+             "note": "(presents)"})
+        execution = ndp.execute(command)
+        ndp.release(execution)
+        assert execution.result.rows[0]["movie_title"] != "AAA First"
+        # A fresh host run DOES see the write.
+        host = runner.run(MINI_JOIN_SQL, Stack.NATIVE)
+        assert host.result.rows[0]["movie_title"] == "AAA First"
+
+    def test_unflushed_rows_visible_to_ndp(self, runner, mini_catalog):
+        # Insert BEFORE preparing the command; it stays in the memtable
+        # (no flush) yet must be part of the device result.
+        mini_catalog.table("title").insert(
+            {"id": 9200, "title": "AAB Unflushed",
+             "production_year": 1970, "kind_id": 0})
+        mini_catalog.table("movie_companies").insert(
+            {"id": 9200, "movie_id": 9200, "company_type_id": 0,
+             "note": "(presents)"})
+        report = runner.run(MINI_JOIN_SQL, Stack.NDP)
+        assert report.result.rows[0]["movie_title"] == "AAB Unflushed"
