@@ -48,9 +48,15 @@ def job_env_exp5():
 
 @pytest.fixture(scope="session")
 def job_matrix(job_env):
-    """The Exp-2 strategy matrix, shared by Fig 12 and Fig 13."""
+    """The Exp-2 strategy matrix, shared by Fig 12 and Fig 13.
+
+    Set ``REPRO_SWEEP_WORKERS=N`` to shard the sweep over N processes;
+    the matrix is identical to the serial sweep.
+    """
     from repro.bench.experiments import exp2_job_matrix_fig12
-    return exp2_job_matrix_fig12(job_env, query_names=selected_queries())
+    from repro.bench.parallel import default_workers
+    return exp2_job_matrix_fig12(job_env, query_names=selected_queries(),
+                                 workers=default_workers())
 
 
 def run_once(benchmark, func):

@@ -1,49 +1,75 @@
 #!/usr/bin/env python3
 """Run the complete 113-query Fig-12/Fig-13 sweep and record the results.
 
-    python scripts/full_job_matrix.py [scale] [output.json]
+    python scripts/full_job_matrix.py [--scale S] [--seed N] \\
+        [--workers N] [--cache-dir DIR] [--output out.json]
 
 Sweeps host-only, every hybrid split and full NDP for every JOB query,
 classifies the matrix (Fig 12) and the planner decisions (Fig 13), and
-writes everything to JSON.  Expect a long run: the heavy families
-(18, 25, 28-31) have explosive intermediate results by design.
+writes everything to JSON.  ``--workers N`` shards the queries over N
+processes; with a fixed seed the report JSON is byte-identical to the
+serial sweep.  ``--cache-dir`` caches the generated workload on disk so
+repeated sweeps (and every worker) skip dataset regeneration.
 """
 
+import argparse
 import json
-import sys
 import time
 
-from repro.bench.experiments import (classify_matrix,
-                                     exp2_job_matrix_fig12,
-                                     exp3_decisions_fig13)
+from repro.bench.experiments import classify_matrix, exp3_decisions_fig13
+from repro.bench.parallel import sweep_job_matrix
 from repro.bench.reporting import render_family_grid, render_matrix_summary
 from repro.workloads.job_queries import all_queries
 from repro.workloads.loader import build_environment
 
 
-def main():
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.0002
-    output = sys.argv[2] if len(sys.argv) > 2 else "full_job_matrix.json"
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="full 113-query JOB strategy sweep (Figs 12/13)")
+    parser.add_argument("--scale", type=float, default=0.0002,
+                        help="dataset scale factor (default 0.0002)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="dataset seed (default 7)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (default 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk workload cache directory")
+    parser.add_argument("--output", default="full_job_matrix.json",
+                        help="output JSON path")
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
 
     start = time.time()
-    env = build_environment(scale=scale, seed=7)
-    print(f"environment: scale={scale}, {env.total_rows:,} rows "
+    env = build_environment(scale=args.scale, seed=args.seed,
+                            workload_cache_dir=args.cache_dir)
+    print(f"environment: scale={args.scale}, {env.total_rows:,} rows "
           f"({time.time() - start:.0f}s)", flush=True)
 
-    matrix = {}
     names = sorted(all_queries())
-    for i, name in enumerate(names):
-        t0 = time.time()
-        matrix.update(exp2_job_matrix_fig12(env, query_names=[name]))
-        host = matrix[name].get("host-only")
-        print(f"[{i + 1}/{len(names)}] {name}: "
+    progress = {"done": 0, "t0": time.time()}
+
+    def on_result(name, times):
+        progress["done"] += 1
+        host = times.get("host-only")
+        print(f"[{progress['done']}/{len(names)}] {name}: "
               f"host={host * 1e3 if host else -1:.1f} ms "
-              f"({time.time() - t0:.0f}s)", flush=True)
+              f"({time.time() - progress['t0']:.0f}s)", flush=True)
+        progress["t0"] = time.time()
+
+    sweep_start = time.time()
+    matrix = sweep_job_matrix(query_names=names, workers=args.workers,
+                              env=env, workload_cache_dir=args.cache_dir,
+                              on_result=on_result)
+    sweep_seconds = time.time() - sweep_start
 
     summary = classify_matrix(matrix)
     decisions = exp3_decisions_fig13(env, matrix)
-    with open(output, "w") as handle:
-        json.dump({"scale": scale, "matrix": matrix, "summary": summary,
+    with open(args.output, "w") as handle:
+        json.dump({"scale": args.scale, "seed": args.seed,
+                   "matrix": matrix, "summary": summary,
                    "decisions": {k: v for k, v in decisions.items()
                                  if k != "per_query"},
                    "decision_outcomes": decisions["per_query"]},
@@ -61,7 +87,8 @@ def main():
           f"(paper ~20.35%), acceptable {decisions['acceptable_pct']:.1f}% "
           f"(paper ~11.5%), suitable {decisions['suitable_pct']:.1f}% "
           f"(paper ~31.8%)")
-    print(f"total {time.time() - start:.0f}s; results in {output}")
+    print(f"sweep {sweep_seconds:.0f}s with {args.workers} worker(s); "
+          f"total {time.time() - start:.0f}s; results in {args.output}")
 
 
 if __name__ == "__main__":

@@ -19,9 +19,14 @@ from repro.bench.experiments import (
     exp6_table4,
     profiler_compute_gap,
 )
+from repro.bench.parallel import (default_workers, strategy_times,
+                                  sweep_job_matrix)
 from repro.bench.reporting import format_table, render_matrix_summary
 
 __all__ = [
+    "default_workers",
+    "strategy_times",
+    "sweep_job_matrix",
     "exp_intro_fig2",
     "exp1_stacks_fig11",
     "exp1_table3",

@@ -18,18 +18,6 @@ from repro.workloads.job_queries import (LISTING2_FULL_PROJECTION,
 ON_PAR_TOLERANCE = 0.05
 
 
-def _run_strategies(env, sql_or_plan):
-    """{strategy: total_time or None} plus reports for one query."""
-    plan = (env.runner.plan(sql_or_plan)
-            if isinstance(sql_or_plan, str) else sql_or_plan)
-    reports = env.runner.run_all_splits(plan)
-    times = {}
-    for name, report in reports.items():
-        times[name] = (None if isinstance(report, Exception)
-                       else report.total_time)
-    return plan, reports, times
-
-
 # ----------------------------------------------------------------------
 # Fig 2 — the introductory experiment (Q8c alternatives)
 # ----------------------------------------------------------------------
@@ -103,18 +91,17 @@ def exp1_table3(env, query_name="17b"):
 # ----------------------------------------------------------------------
 # Experiment 2 — Fig 12: the full JOB matrix
 # ----------------------------------------------------------------------
-def exp2_job_matrix_fig12(env, query_names=None):
+def exp2_job_matrix_fig12(env, query_names=None, workers=1):
     """Per-query times for host-only, H0..Hn, full NDP.
 
     ``query_names`` defaults to all 113 JOB queries; pass a subset for
-    quick runs.  Returns {name: {strategy: seconds-or-None}}.
+    quick runs.  ``workers>1`` shards the sweep over processes (each
+    rebuilding ``env`` deterministically); results are identical to the
+    serial sweep.  Returns {name: {strategy: seconds-or-None}}.
     """
+    from repro.bench.parallel import sweep_job_matrix
     names = list(query_names) if query_names else sorted(all_queries())
-    matrix = {}
-    for name in names:
-        _plan, _reports, times = _run_strategies(env, query(name))
-        matrix[name] = times
-    return matrix
+    return sweep_job_matrix(query_names=names, workers=workers, env=env)
 
 
 def classify_matrix(matrix, tolerance=ON_PAR_TOLERANCE):

@@ -1,0 +1,95 @@
+"""Parallel JOB sweep: shard the Fig-12 strategy matrix across processes.
+
+The 113-query sweep is embarrassingly parallel — every query's
+``run_all_splits`` is independent of every other query's (each execution
+builds fresh pipeline state).  Workers each build their own environment
+(the LSM store is not shareable across processes); with the seeded
+on-disk workload cache (:mod:`repro.workloads.loader`) only the first
+builder pays dataset generation, and every build is deterministic, so
+the sharded sweep is bit-identical to the serial one for a fixed seed.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.workloads.job_queries import all_queries, query
+from repro.workloads.loader import build_environment
+
+#: Environment variable read by the benchmark fixtures for worker count.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+# Per-worker-process environment, built once by the pool initializer.
+_WORKER_ENV = None
+
+
+def default_workers():
+    """Worker count from ``$REPRO_SWEEP_WORKERS`` (default: serial)."""
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+def strategy_times(env, query_name):
+    """{strategy: total_time or None} for one query on one environment."""
+    reports = env.runner.run_all_splits(query(query_name))
+    return {strategy: (None if isinstance(report, Exception)
+                       else report.total_time)
+            for strategy, report in reports.items()}
+
+
+def _init_worker(env_kwargs):
+    global _WORKER_ENV
+    _WORKER_ENV = build_environment(**env_kwargs)
+
+
+def _sweep_one(query_name):
+    return query_name, strategy_times(_WORKER_ENV, query_name)
+
+
+def sweep_job_matrix(query_names=None, workers=1, env=None,
+                     env_kwargs=None, workload_cache_dir=None,
+                     on_result=None):
+    """The Fig-12 matrix ``{query: {strategy: seconds-or-None}}``.
+
+    ``workers=1`` runs serially on ``env`` (built from ``env_kwargs``
+    when absent).  ``workers>1`` shards the queries over a
+    :class:`ProcessPoolExecutor`; each worker builds its own environment
+    from ``env_kwargs`` (or ``env.build_kwargs()``), reading the shared
+    workload cache.  Results are keyed in sorted query order either way,
+    so serial and parallel sweeps serialize to identical JSON.
+
+    ``on_result(name, times)`` is invoked in the parent as each query
+    completes, for progress reporting.
+    """
+    names = sorted(query_names) if query_names else sorted(all_queries())
+    if env_kwargs is None:
+        if env is not None:
+            env_kwargs = env.build_kwargs()
+        else:
+            env_kwargs = {}
+    if workload_cache_dir:
+        env_kwargs = dict(env_kwargs,
+                          workload_cache_dir=workload_cache_dir)
+
+    matrix = {}
+    if workers <= 1:
+        if env is None:
+            env = build_environment(**env_kwargs)
+        for name in names:
+            times = strategy_times(env, name)
+            matrix[name] = times
+            if on_result is not None:
+                on_result(name, times)
+        return matrix
+
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_init_worker,
+                             initargs=(env_kwargs,)) as pool:
+        # map() preserves submission order: the matrix is keyed in sorted
+        # order exactly like the serial path, whatever finishes first.
+        for name, times in pool.map(_sweep_one, names):
+            matrix[name] = times
+            if on_result is not None:
+                on_result(name, times)
+    return matrix

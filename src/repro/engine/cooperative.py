@@ -7,6 +7,14 @@ joins it with the remaining tables while the device autonomously produces
 the next batch.  The device stalls when all slots are full; the host
 waits when no batch is ready — both are accounted, reproducing the
 Fig 17 timeline and the Table 4 stage breakdown.
+
+The timeline is built on the :mod:`repro.sim` kernel: the PCIe link, the
+device's NDP core and the host CPU are :class:`~repro.sim.BusyResource`\\ s
+driven by an :class:`~repro.sim.EventLoop`.  Everything that crosses the
+link — the NDP command payload, the device's per-batch result pushes and
+the host's fetch/completion commands — acquires the link resource, so
+transfers serialize with queuing delays that feed the ``host_wait_*`` /
+``device_stall_time`` accounting instead of silently overlapping.
 """
 
 import math
@@ -16,6 +24,200 @@ from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
 from repro.engine.timing import ExecutionLocation
 from repro.errors import PlanError
 from repro.query.ast import conjuncts
+from repro.sim import BusyResource, EventLoop, SimClock
+
+#: Resource names used in ``ExecutionReport.resource_stats`` / timelines.
+LINK_RESOURCE = "pcie_link"
+DEVICE_RESOURCE = "device_core1"
+HOST_RESOURCE = "host_cpu"
+
+
+class _SplitSimulation:
+    """Discrete-event producer/consumer simulation of one hybrid split.
+
+    The device process produces intermediate batches on ``core`` and DMAs
+    each finished batch over ``link`` into a shared buffer slot; the host
+    process posts a small fetch/completion command on ``link`` per batch,
+    joins the batch on ``cpu``, which frees the slot.  The device blocks
+    when all ``slots`` slots hold unconsumed batches; the host blocks when
+    the next batch has not arrived yet.  Real host-side join work happens
+    inside the consume events, in batch order, so results are identical to
+    the sequential implementation.
+    """
+
+    def __init__(self, executor, timing, plan, batches, per_batch_device,
+                 row_bytes, slots, setup_time, session, host_counters):
+        self.executor = executor
+        self.timing = timing
+        self.plan = plan
+        self.batches = batches
+        self.n_batches = len(batches)
+        self.per_batch_device = per_batch_device
+        self.row_bytes = row_bytes
+        self.slots = max(1, slots)
+        self.setup_time = setup_time
+        self.session = session
+        self.host_counters = host_counters
+
+        self.clock = SimClock()
+        self.loop = EventLoop(self.clock)
+        self.link = BusyResource(LINK_RESOURCE)
+        self.core = BusyResource(DEVICE_RESOURCE)
+        self.cpu = BusyResource(HOST_RESOURCE)
+
+        self.timeline = []
+        self.joined_rows = []
+        self.result = None
+        self.ready = [None] * self.n_batches      # batch i in its slot
+        self.consumed = [None] * self.n_batches   # slot of batch i freed
+        self.device_blocked = None                # (batch index, since)
+        self.host_blocked = None                  # (batch index, since)
+
+        self.host_wait_initial = 0.0
+        self.host_wait_other = 0.0
+        self.device_stall = 0.0
+        self.transfer_total = 0.0
+        self.host_processing = 0.0
+        self.host_end = 0.0
+
+    # -- helpers -------------------------------------------------------
+    def _phase(self, actor, kind, start, end, label, resource=""):
+        self.timeline.append(
+            TimelinePhase(actor, kind, start, end, label, resource=resource))
+
+    def _host_wait(self, index, start, end, label):
+        if end <= start:
+            return
+        if index == 0:
+            self.host_wait_initial += end - start
+        else:
+            self.host_wait_other += end - start
+        self._phase("host", "wait", start, end, label)
+
+    # -- simulation ----------------------------------------------------
+    def run(self):
+        """Run the simulation; returns the total simulated time."""
+        self.loop.schedule_at(0.0, self._begin)
+        self.loop.run()
+        return max(self.link.free_at, self.core.free_at, self.cpu.free_at)
+
+    def _begin(self):
+        # The host assembles the NDP command and pushes its payload over
+        # the link; the device cannot start before the command arrived.
+        begin, end = self.link.acquire(0.0, self.setup_time)
+        self._phase("host", "setup", begin, end, "NDP command",
+                    resource=LINK_RESOURCE)
+        self.loop.schedule_at(end, lambda: self._device_next(0))
+        self.loop.schedule_at(end, lambda: self._host_want(0))
+
+    # -- device process ------------------------------------------------
+    def _device_next(self, i):
+        """Try to start producing batch ``i`` at the current sim time."""
+        if i >= self.n_batches:
+            return
+        if i >= self.slots and self.consumed[i - self.slots] is None:
+            # All slots hold unconsumed batches: stall until one frees.
+            self.device_blocked = (i, self.clock.now)
+            return
+        self._device_produce(i)
+
+    def _device_produce(self, i):
+        now = self.clock.now
+        begin, end = self.core.acquire(now, self.per_batch_device)
+        self._phase("device", "compute", begin, end,
+                    f"batch {i} ({len(self.batches[i])} rows)",
+                    resource=DEVICE_RESOURCE)
+        self.loop.schedule_at(end, lambda: self._device_produced(i))
+
+    def _device_produced(self, i):
+        now = self.clock.now
+        batch = self.batches[i]
+        if batch:
+            push = self.timing.transfer_time(len(batch) * self.row_bytes)
+            begin, end = self.link.acquire(now, push)
+            if begin > now:
+                # The link is carrying another transfer: queuing delay.
+                self.device_stall += begin - now
+                self._phase("device", "stall", now, begin,
+                            f"link busy before push {i}")
+            self._phase("device", "transfer", begin, end,
+                        f"push batch {i}", resource=LINK_RESOURCE)
+            self.transfer_total += end - begin
+            self.loop.schedule_at(end, lambda: self._batch_ready(i))
+        else:
+            # Zero-row batch: nothing crosses the link.
+            self.loop.schedule_at(now, lambda: self._batch_ready(i))
+        # Production of the next batch pipelines with the push DMA.
+        self._device_next(i + 1)
+
+    def _batch_ready(self, i):
+        self.ready[i] = self.clock.now
+        if self.host_blocked is not None and self.host_blocked[0] == i:
+            index, since = self.host_blocked
+            self.host_blocked = None
+            self._host_wait(index, since, self.clock.now,
+                            f"waiting for batch {index}")
+            self._host_fetch(index)
+
+    # -- host process --------------------------------------------------
+    def _host_want(self, i):
+        if i >= self.n_batches:
+            self._host_epilogue()
+            return
+        if self.ready[i] is not None:
+            self._host_fetch(i)
+        else:
+            self.host_blocked = (i, self.clock.now)
+
+    def _host_fetch(self, i):
+        now = self.clock.now
+        if self.batches[i]:
+            fetch = self.timing.fetch_command_time()
+            begin, end = self.link.acquire(now, fetch)
+            # A device push may occupy the link: the host keeps waiting.
+            self._host_wait(i, now, begin, f"link busy before fetch {i}")
+            self._phase("host", "transfer", begin, end,
+                        f"fetch batch {i}", resource=LINK_RESOURCE)
+            self.transfer_total += end - begin
+            self.loop.schedule_at(end, lambda: self._host_consume(i))
+        else:
+            self.loop.schedule_at(now, lambda: self._host_consume(i))
+
+    def _host_consume(self, i):
+        now = self.clock.now
+        self.consumed[i] = now
+        if (self.device_blocked is not None
+                and self.device_blocked[0] - self.slots == i):
+            index, since = self.device_blocked
+            self.device_blocked = None
+            if now > since:
+                self.device_stall += now - since
+                self._phase("device", "stall", since, now,
+                            f"slots full before batch {index}")
+            self._device_produce(index)
+
+        batch_time = self.executor._process_batch(
+            self.session, self.batches[i], self.row_bytes,
+            self.host_counters, self.joined_rows)
+        begin, end = self.cpu.acquire(now, batch_time)
+        self._phase("host", "compute", begin, end, f"process batch {i}",
+                    resource=HOST_RESOURCE)
+        self.host_processing += batch_time
+        self.loop.schedule_at(end, lambda: self._host_want(i + 1))
+
+    def _host_epilogue(self):
+        now = self.clock.now
+        epilogue = self.executor._finalize_time(self)
+        begin, end = self.cpu.acquire(now, epilogue)
+        self._phase("host", "compute", begin, end, "finalize",
+                    resource=HOST_RESOURCE)
+        self.host_processing += epilogue
+        self.host_end = end
+
+    def resource_stats(self, horizon):
+        """Per-resource busy/wait/utilization over ``[0, horizon]``."""
+        return {resource.name: resource.stats(horizon)
+                for resource in (self.link, self.core, self.cpu)}
 
 
 class CooperativeExecutor:
@@ -43,6 +245,34 @@ class CooperativeExecutor:
             else:
                 host_side.append(conjunct)
         return device_side, host_side
+
+    def _process_batch(self, session, batch, row_bytes, host_counters,
+                       joined_rows):
+        """Join one device batch on the host; returns its charged time."""
+        before = host_counters.copy()
+        if session is not None:
+            fragment_rows, _fragment_bytes = session.process_batch(
+                batch, row_bytes)
+        else:
+            fragment_rows = batch
+        joined_rows.extend(fragment_rows)
+        delta = host_counters.copy()
+        for name, value in before.as_dict().items():
+            setattr(delta, name, getattr(delta, name) - value)
+        batch_time, _ = self.timing.charge(delta, ExecutionLocation.HOST)
+        return batch_time
+
+    def _finalize_time(self, sim):
+        """Run the host epilogue for ``sim``; returns its charged time."""
+        counters = sim.host_counters
+        before = counters.copy()
+        sim.result = self.host.finalize_fragment(sim.plan, sim.joined_rows,
+                                                 counters)
+        delta = counters.copy()
+        for name, value in before.as_dict().items():
+            setattr(delta, name, getattr(delta, name) - value)
+        epilogue, _ = self.timing.charge(delta, ExecutionLocation.HOST)
+        return epilogue
 
     # ------------------------------------------------------------------
     # Hybrid split execution
@@ -74,125 +304,46 @@ class CooperativeExecutor:
             batch_rows = max(1, slot_bytes // row_bytes)
             rows = execution.rows
             n_batches = max(1, math.ceil(len(rows) / batch_rows))
+            batches = [rows[i * batch_rows:(i + 1) * batch_rows]
+                       for i in range(n_batches)]
             slots = self.ndp.device.spec.shared_buffer_slots
             per_batch_device = device_time / n_batches
 
-            timeline = []
-            timeline.append(TimelinePhase("host", "setup", 0.0, setup_time,
-                                          "NDP command"))
-
-            # --- simulate producer/consumer ---------------------------
             host_counters = WorkCounters()
             session = None
             if host_entries or host_residual:
                 session = self.host.fragment_session(
                     plan, host_entries, device_aliases, host_counters,
                     residual_conjuncts=host_residual)
-            joined_rows = []
-            fetch_complete = [0.0] * n_batches
-            device_clock = setup_time
-            device_stall = 0.0
-            host_clock = setup_time
-            host_wait_initial = 0.0
-            host_wait_other = 0.0
-            transfer_total = 0.0
-            host_processing = 0.0
-            ready = [0.0] * n_batches
 
-            for i in range(n_batches):
-                batch = rows[i * batch_rows:(i + 1) * batch_rows]
-                # Device side: wait for a free slot if `slots` ahead.
-                if i >= slots:
-                    free_at = fetch_complete[i - slots]
-                    if free_at > device_clock:
-                        timeline.append(TimelinePhase(
-                            "device", "stall", device_clock, free_at,
-                            f"slots full before batch {i}"))
-                        device_stall += free_at - device_clock
-                        device_clock = free_at
-                produce_start = device_clock
-                device_clock += per_batch_device
-                ready[i] = device_clock
-                timeline.append(TimelinePhase(
-                    "device", "compute", produce_start, device_clock,
-                    f"batch {i} ({len(batch)} rows)"))
-
-                # Host side: wait for the batch, fetch it, process it.
-                if ready[i] > host_clock:
-                    wait = ready[i] - host_clock
-                    if i == 0:
-                        host_wait_initial += wait
-                    else:
-                        host_wait_other += wait
-                    timeline.append(TimelinePhase(
-                        "host", "wait", host_clock, ready[i],
-                        f"waiting for batch {i}"))
-                    host_clock = ready[i]
-                batch_bytes = max(len(batch) * row_bytes, 64)
-                transfer = self.timing.transfer_time(batch_bytes)
-                transfer_total += transfer
-                fetch_complete[i] = host_clock + transfer
-                timeline.append(TimelinePhase(
-                    "host", "transfer", host_clock, fetch_complete[i],
-                    f"fetch batch {i}"))
-                host_clock = fetch_complete[i]
-
-                before = host_counters.copy()
-                if session is not None:
-                    fragment_rows, _fragment_bytes = session.process_batch(
-                        batch, row_bytes)
-                else:
-                    fragment_rows = batch
-                joined_rows.extend(fragment_rows)
-                delta = host_counters.copy()
-                for name, value in before.as_dict().items():
-                    setattr(delta, name, getattr(delta, name) - value)
-                batch_time, _ = self.timing.charge(
-                    delta, ExecutionLocation.HOST)
-                host_processing += batch_time
-                timeline.append(TimelinePhase(
-                    "host", "compute", host_clock, host_clock + batch_time,
-                    f"process batch {i}"))
-                host_clock += batch_time
-
-            # --- epilogue: aggregation/projection on the host ----------
-            before = host_counters.copy()
-            result = self.host.finalize_fragment(plan, joined_rows,
-                                                 host_counters)
-            delta = host_counters.copy()
-            for name, value in before.as_dict().items():
-                setattr(delta, name, getattr(delta, name) - value)
-            final_time, host_breakdown = self.timing.charge(
+            sim = _SplitSimulation(
+                self, self.timing, plan, batches, per_batch_device,
+                row_bytes, slots, setup_time, session, host_counters)
+            total = sim.run()
+            _final_time, host_breakdown = self.timing.charge(
                 host_counters, ExecutionLocation.HOST)
-            epilogue, _ = self.timing.charge(delta, ExecutionLocation.HOST)
-            del final_time
-            timeline.append(TimelinePhase(
-                "host", "compute", host_clock, host_clock + epilogue,
-                "finalize"))
-            host_clock += epilogue
-            host_processing += epilogue
 
-            total = max(host_clock, device_clock)
             return ExecutionReport(
                 strategy=f"H{split_index}",
                 total_time=total,
-                result=result,
+                result=sim.result,
                 split_index=split_index,
                 host_counters=host_counters,
                 device_counters=execution.counters,
                 host_breakdown=host_breakdown,
                 device_breakdown=device_breakdown,
                 setup_time=setup_time,
-                host_wait_initial=host_wait_initial,
-                host_wait_other=host_wait_other,
-                transfer_time=transfer_total,
-                host_processing_time=host_processing,
+                host_wait_initial=sim.host_wait_initial,
+                host_wait_other=sim.host_wait_other,
+                transfer_time=sim.transfer_total,
+                host_processing_time=sim.host_processing,
                 device_busy_time=device_time,
-                device_stall_time=device_stall,
+                device_stall_time=sim.device_stall,
                 batches=n_batches,
                 intermediate_rows=len(rows),
                 intermediate_bytes=len(rows) * row_bytes,
-                timeline=timeline,
+                timeline=sim.timeline,
+                resource_stats=sim.resource_stats(total),
                 notes={"pointer_cache": execution.pointer_cache,
                        "device_aliases": device_aliases,
                        "device_stage_rows": execution.stage_trace},
@@ -227,16 +378,28 @@ class CooperativeExecutor:
             commands = max(1, math.ceil(result_bytes / max(1, slot_bytes)))
             transfer = self.timing.transfer_time(result_bytes,
                                                  commands=commands)
-            total = setup_time + device_time + transfer
+
+            # Serialize command payload, device compute, and the result
+            # push on the sim kernel's resources.
+            link = BusyResource(LINK_RESOURCE)
+            core = BusyResource(DEVICE_RESOURCE)
+            cpu = BusyResource(HOST_RESOURCE)
+            _s0, setup_end = link.acquire(0.0, setup_time)
+            _c0, compute_end = core.acquire(setup_end, device_time)
+            push_begin, total = link.acquire(compute_end, transfer)
+            cpu.acquire(0.0, setup_time)   # host assembles the command
             timeline = [
-                TimelinePhase("host", "setup", 0.0, setup_time, "NDP command"),
-                TimelinePhase("device", "compute", setup_time,
-                              setup_time + device_time, "full QEP"),
-                TimelinePhase("host", "wait", setup_time,
-                              setup_time + device_time, "full NDP wait"),
-                TimelinePhase("host", "transfer", setup_time + device_time,
-                              total, "result fetch"),
+                TimelinePhase("host", "setup", 0.0, setup_end, "NDP command",
+                              resource=LINK_RESOURCE),
+                TimelinePhase("device", "compute", setup_end, compute_end,
+                              "full QEP", resource=DEVICE_RESOURCE),
+                TimelinePhase("host", "wait", setup_end, compute_end,
+                              "full NDP wait"),
+                TimelinePhase("host", "transfer", push_begin, total,
+                              "result fetch", resource=LINK_RESOURCE),
             ]
+            resource_stats = {r.name: r.stats(total)
+                              for r in (link, core, cpu)}
             return ExecutionReport(
                 strategy="full-ndp",
                 total_time=total,
@@ -252,6 +415,7 @@ class CooperativeExecutor:
                 intermediate_rows=len(execution.rows),
                 intermediate_bytes=len(execution.rows) * execution.row_bytes,
                 timeline=timeline,
+                resource_stats=resource_stats,
                 notes={"pointer_cache": execution.pointer_cache},
             )
         finally:

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from repro.engine.counters import WorkCounters
 from repro.engine.pipeline import PipelineConfig, PipelineExecutor, finalize
 from repro.engine.results import ExecutionReport, QueryResult
-from repro.engine.timing import ExecutionLocation, TimingModel
+from repro.engine.timing import ExecutionLocation
 from repro.query.ast import conjuncts
 
 

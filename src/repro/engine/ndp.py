@@ -12,10 +12,8 @@ from dataclasses import dataclass, field
 
 from repro.engine.counters import WorkCounters
 from repro.engine.pipeline import PipelineConfig, PipelineExecutor, finalize
-from repro.engine.timing import ExecutionLocation
 from repro.errors import DeviceOverloadError, OffloadError
 from repro.lsm.snapshot import SharedState
-from repro.query.physical import JoinAlgorithm
 
 
 @dataclass

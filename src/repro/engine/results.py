@@ -47,6 +47,7 @@ class TimelinePhase:
     start: float
     end: float
     label: str = ""
+    resource: str = ""  # BusyResource occupied for the interval, if any
 
     @property
     def duration(self):
@@ -81,6 +82,9 @@ class ExecutionReport:
     intermediate_rows: int = 0
     intermediate_bytes: int = 0
     timeline: list = field(default_factory=list)
+    #: {resource_name: {busy_time, wait_time, requests, utilization}} for
+    #: the BusyResources (PCIe link, device core, host CPU) the run used.
+    resource_stats: dict = field(default_factory=dict)
     notes: dict = field(default_factory=dict)
 
     @property
@@ -89,17 +93,25 @@ class ExecutionReport:
         return self.host_wait_initial + self.host_wait_other
 
     def host_stage_shares(self):
-        """Host stage breakdown in percent of total (Table 4 left)."""
-        if self.total_time <= 0:
-            return {}
+        """Host stage breakdown in percent (Table 4 left).
+
+        Stages can overlap on the wall clock (a transfer may hide under a
+        wait), so shares are normalised over the *stage sum* — they always
+        add up to 100% — rather than over ``total_time``, which let them
+        sum past 100%.
+        """
         stages = {
             "ndp_setup": self.setup_time,
             "wait_initial": self.host_wait_initial,
             "wait_subsequent": self.host_wait_other,
             "result_transfer": self.transfer_time,
             "processing": self.host_processing_time,
+            "device_stall": self.device_stall_time,
         }
-        return {name: 100.0 * value / self.total_time
+        stage_sum = sum(stages.values())
+        if stage_sum <= 0:
+            return {}
+        return {name: 100.0 * value / stage_sum
                 for name, value in stages.items()}
 
     def device_operation_shares(self):
@@ -134,6 +146,7 @@ class ExecutionReport:
             "device_counters": self.device_counters.as_dict(),
             "host_stage_shares": self.host_stage_shares(),
             "device_operation_shares": self.device_operation_shares(),
+            "resource_stats": self.resource_stats,
             "notes": {key: value for key, value in self.notes.items()
                       if isinstance(value, (str, int, float, bool, list))},
         }
@@ -143,5 +156,6 @@ class ExecutionReport:
         if include_timeline:
             payload["timeline"] = [
                 {"actor": p.actor, "kind": p.kind, "start": p.start,
-                 "end": p.end, "label": p.label} for p in self.timeline]
+                 "end": p.end, "label": p.label, "resource": p.resource}
+                for p in self.timeline]
         return payload

@@ -16,7 +16,7 @@ from repro.engine.cooperative import CooperativeExecutor
 from repro.engine.host import HostEngine, HostEngineConfig
 from repro.engine.ndp import NDPEngine, NDPEngineConfig
 from repro.engine.timing import HostIOPath, TimingModel
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError, ResourceError
 from repro.query.optimizer import build_plan
 from repro.storage.machines import HOST_I5
 
@@ -105,18 +105,24 @@ class StackRunner:
         """Run every strategy: BLK, H0..H(n-1), full NDP.
 
         Returns ``{strategy_name: ExecutionReport}`` — the raw material
-        of the paper's Figs 12 and 16.
+        of the paper's Figs 12 and 16.  The key of each entry matches the
+        report's own ``strategy`` label; the baseline runs on the BLK
+        stack under the matrix's canonical ``"host-only"`` name.  Only
+        repro errors (device overload and friends) are recorded as
+        infeasible strategies — programming errors propagate.
         """
         plan = self.plan(query) if isinstance(query, str) else query
-        reports = {"host-only": self.run(plan, Stack.BLK)}
+        reports = {"host-only": self._host_blk.execute(
+            plan, strategy="host-only")}
         for k in range(plan.table_count):
             try:
                 reports[f"H{k}"] = self.run(plan, Stack.HYBRID,
                                             split_index=k)
-            except Exception as error:  # overload -> strategy infeasible
+            except (ReproError, ResourceError) as error:
+                # overload -> strategy infeasible
                 reports[f"H{k}"] = error
         try:
             reports["full-ndp"] = self.run(plan, Stack.NDP)
-        except Exception as error:
+        except (ReproError, ResourceError) as error:
             reports["full-ndp"] = error
         return reports

@@ -201,6 +201,14 @@ class TimingModel:
         """Device -> host (or host -> device) PCIe transfer time."""
         return self.device.transfer_results(nbytes, commands=commands)
 
+    def fetch_command_time(self):
+        """Host-side doorbell/completion for consuming one result batch.
+
+        The batch payload itself is DMAed by the device; the host only
+        posts a small completion command on the link per batch.
+        """
+        return self.device.link.transfer_time(64, commands=1)
+
     def command_setup_time(self, payload_bytes):
         """Time to assemble and submit an NDP command with its payload."""
         return (self.device.link.command_latency

@@ -43,6 +43,10 @@ class ExecutionError(ReproError):
     """Query execution failed."""
 
 
+class ResourceError(ReproError):
+    """A simulated resource was used inconsistently (over-subscription)."""
+
+
 class DeviceOverloadError(ExecutionError):
     """The NDP device ran out of memory or buffer slots for the request."""
 

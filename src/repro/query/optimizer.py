@@ -6,7 +6,6 @@ resulting plan with offloading decisions; this module is deliberately the
 "vanilla MyRocks" part of the stack.
 """
 
-from repro.errors import PlanError
 from repro.query.ast import ColumnRef, Comparison, InList, conjuncts
 from repro.query.join_order import (filtered_cardinality, join_selectivity,
                                     order_tables)

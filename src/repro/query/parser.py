@@ -17,7 +17,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.errors import ParseError
-from repro.query.ast import (And, Between, ColumnRef, Comparison, InList,
+from repro.query.ast import (Between, ColumnRef, Comparison, InList,
                              IsNull, Like, Literal, Not, Or, make_and)
 
 _KEYWORDS = {

@@ -2,9 +2,16 @@
 
 A :class:`BusyResource` models a serially-used component (a device core, a
 PCIe link) on the simulated timeline: requests queue FIFO and each holds the
-resource for its duration.  The cooperative executor uses these to account
-for stalls when the host and the device contend for the link.
+resource for its duration.  :class:`~repro.engine.cooperative.\
+CooperativeExecutor` builds its timelines on these — the NDP command
+payload, batch transfers, and result pushes all acquire the link resource,
+so contention shows up as queuing delay instead of silently overlapping.
 """
+
+from repro.errors import ResourceError
+
+#: Relative slack allowed before ``utilization`` calls over-subscription.
+_UTILIZATION_TOLERANCE = 1e-9
 
 
 class BusyResource:
@@ -53,10 +60,30 @@ class BusyResource:
         return begin, end
 
     def utilization(self, horizon):
-        """Fraction of ``[0, horizon]`` the resource was busy."""
+        """Fraction of ``[0, horizon]`` the resource was busy.
+
+        A serially-used resource can never be busy longer than the horizon
+        it ran in; if it is, some caller double-booked it, so the value is
+        NOT clamped — over-subscription raises :class:`ResourceError`.
+        """
         if horizon <= 0:
             return 0.0
-        return min(1.0, self._busy_time / horizon)
+        utilization = self._busy_time / horizon
+        if utilization > 1.0 + _UTILIZATION_TOLERANCE:
+            raise ResourceError(
+                f"resource {self.name!r} busy for {self._busy_time:.9f}s "
+                f"inside a {horizon:.9f}s horizon (utilization "
+                f"{utilization:.3f} > 1); requests were double-booked")
+        return utilization
+
+    def stats(self, horizon):
+        """Busy/wait/request/utilization summary for reporting."""
+        return {
+            "busy_time": self._busy_time,
+            "wait_time": self._wait_time,
+            "requests": self._requests,
+            "utilization": self.utilization(horizon),
+        }
 
     def reset(self):
         """Forget all history; the resource becomes free at time zero."""

@@ -8,7 +8,7 @@ path (all channels in parallel, no interconnect) from the external path
 asymmetry NDP exploits.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import StorageError
 

@@ -6,8 +6,17 @@ flash device, profiles the hardware, and wires up the stack runner and
 the hybrid planner.  The device buffer sizes are scaled by the ratio of
 the synthetic dataset to the paper's 16 GB so buffer-pressure effects
 (batching, BNL block counts) stay proportionate.
+
+Because the generator is fully seeded, the generated rows can be cached
+on disk (``workload_cache_dir`` or ``$REPRO_WORKLOAD_CACHE``) keyed by
+the dataset spec; repeated sweeps — and every worker of the parallel JOB
+sweep — then skip regeneration and load identical bytes.
 """
 
+import hashlib
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass
 
 from repro.core.cost_model import CostModel
@@ -40,6 +49,17 @@ class Environment:
     planner: HybridPlanner
     hardware: HardwareModel
     buffer_scale: float
+    secondary_indexes: bool = True
+
+    def build_kwargs(self):
+        """Keyword arguments that rebuild an identical environment."""
+        return {
+            "scale": self.spec.scale,
+            "seed": self.spec.seed,
+            "min_rows": self.spec.min_rows,
+            "table_overrides": tuple(self.spec.table_overrides),
+            "secondary_indexes": self.secondary_indexes,
+        }
 
     @property
     def total_rows(self):
@@ -78,23 +98,68 @@ def _lsm_config_for(spec):
     )
 
 
+def _workload_cache_path(cache_dir, spec):
+    """Deterministic cache file for one dataset spec."""
+    key = repr((spec.scale, spec.seed, spec.min_rows,
+                tuple(spec.table_overrides)))
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:20]
+    return os.path.join(cache_dir, f"imdb-{digest}.pkl")
+
+
+def _generate_workload(spec, table_names, cache_dir=None):
+    """{table: rows} for the spec, via the on-disk cache when enabled.
+
+    The generator's RNG is shared across tables, so all tables are
+    produced in one pass in schema order — the cache stores that whole
+    pass and is only valid as a unit.
+    """
+    path = _workload_cache_path(cache_dir, spec) if cache_dir else None
+    if path and os.path.exists(path):
+        with open(path, "rb") as handle:
+            cached = pickle.load(handle)
+        if set(table_names) <= set(cached):
+            return cached
+    generator = DatasetGenerator(spec)
+    rows = {name: list(generator.generate(name)) for name in table_names}
+    if path:
+        os.makedirs(cache_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(rows, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)     # atomic: concurrent-worker safe
+        except OSError:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+    return rows
+
+
 def build_environment(scale=0.0005, seed=7, secondary_indexes=True,
                       device_spec=None, host_spec=None, min_rows=8,
-                      table_overrides=()):
-    """Generate, load, profile, and wire an :class:`Environment`."""
+                      table_overrides=(), workload_cache_dir=None):
+    """Generate, load, profile, and wire an :class:`Environment`.
+
+    ``workload_cache_dir`` (default: ``$REPRO_WORKLOAD_CACHE`` when set)
+    caches the generated rows on disk so repeated builds of the same
+    spec skip generation.
+    """
     spec = DatasetSpec(scale=scale, seed=seed, min_rows=min_rows,
                        table_overrides=tuple(table_overrides))
+    if workload_cache_dir is None:
+        workload_cache_dir = os.environ.get("REPRO_WORKLOAD_CACHE") or None
     flash = FlashDevice()
     database = KVDatabase(flash=flash, default_config=_lsm_config_for(spec))
     catalog = Catalog(database)
 
-    for schema in imdb_schemas(secondary_indexes=secondary_indexes):
+    schemas = imdb_schemas(secondary_indexes=secondary_indexes)
+    for schema in schemas:
         catalog.create_table(schema)
 
-    generator = DatasetGenerator(spec)
-    for schema in imdb_schemas(secondary_indexes=secondary_indexes):
+    workload = _generate_workload(spec, [schema.name for schema in schemas],
+                                  cache_dir=workload_cache_dir)
+    for schema in schemas:
         table = catalog.table(schema.name)
-        table.insert_many(generator.generate(schema.name))
+        table.insert_many(workload[schema.name])
     catalog.flush_all()
 
     device = SmartStorageDevice(spec=device_spec or COSMOS_PLUS,
@@ -127,4 +192,5 @@ def build_environment(scale=0.0005, seed=7, secondary_indexes=True,
         planner=planner,
         hardware=hardware,
         buffer_scale=buffer_scale,
+        secondary_indexes=secondary_indexes,
     )

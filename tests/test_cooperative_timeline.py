@@ -1,0 +1,141 @@
+"""Invariants of the sim-kernel-backed cooperative timeline.
+
+The cooperative executor builds its Fig-17 timeline on the
+:mod:`repro.sim` resources: every interval on the PCIe link must be
+serialized, phases must stay inside ``[0, total_time]``, per-resource
+stats must be reported unclamped, and none of it may change the
+functional result rows.
+"""
+
+import pytest
+
+from repro.engine.cooperative import (DEVICE_RESOURCE, HOST_RESOURCE,
+                                      LINK_RESOURCE)
+from repro.engine.stacks import Stack, StackRunner
+from repro.errors import DeviceOverloadError
+from repro.storage.device import SmartStorageDevice
+
+from tests.conftest import MINI_JOIN_SQL
+
+EMPTY_PREFIX_SQL = """SELECT MIN(t.title) AS movie_title
+FROM title AS t, movie_companies AS mc
+WHERE t.id = mc.movie_id
+  AND t.production_year BETWEEN 3000 AND 4000"""
+
+
+@pytest.fixture
+def runner(mini_catalog, kv_db, flash):
+    device = SmartStorageDevice(flash=flash)
+    return StackRunner(mini_catalog, kv_db, device, buffer_scale=0.001)
+
+
+def link_intervals(report):
+    return sorted(
+        ((p.start, p.end) for p in report.timeline
+         if p.resource == LINK_RESOURCE),
+        key=lambda interval: interval)
+
+
+class TestTimelineInvariants:
+    def test_link_intervals_never_overlap(self, runner):
+        plan = runner.plan(MINI_JOIN_SQL)
+        for k in range(plan.table_count):
+            report = runner.run(plan, Stack.HYBRID, split_index=k)
+            intervals = link_intervals(report)
+            assert intervals, f"H{k} should use the link"
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-12, (
+                    f"H{k}: link intervals [{s1}, {e1}) and [{s2}, {e2}) "
+                    "overlap")
+
+    def test_phases_non_negative_and_within_total(self, runner):
+        for stack, kwargs in ((Stack.HYBRID, {"split_index": 1}),
+                              (Stack.NDP, {})):
+            report = runner.run(MINI_JOIN_SQL, stack, **kwargs)
+            for phase in report.timeline:
+                assert phase.start >= 0.0
+                assert phase.end >= phase.start
+                assert phase.end <= report.total_time + 1e-12
+
+    def test_resource_stats_reported(self, runner):
+        report = runner.run(MINI_JOIN_SQL, Stack.HYBRID, split_index=1)
+        assert set(report.resource_stats) == {
+            LINK_RESOURCE, DEVICE_RESOURCE, HOST_RESOURCE}
+        for stats in report.resource_stats.values():
+            assert 0.0 <= stats["utilization"] <= 1.0
+            assert stats["busy_time"] >= 0.0
+            assert stats["requests"] >= 1
+        link_busy = sum(end - start
+                        for start, end in link_intervals(report))
+        assert report.resource_stats[LINK_RESOURCE]["busy_time"] == (
+            pytest.approx(link_busy))
+
+    def test_resource_stats_in_to_dict(self, runner):
+        report = runner.run(MINI_JOIN_SQL, Stack.HYBRID, split_index=1)
+        payload = report.to_dict()
+        assert payload["resource_stats"][LINK_RESOURCE]["utilization"] <= 1.0
+
+    def test_full_ndp_link_serialized(self, runner):
+        report = runner.run(MINI_JOIN_SQL, Stack.NDP)
+        intervals = link_intervals(report)
+        assert len(intervals) >= 2      # command payload + result push
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-12
+
+    def test_wait_and_stall_accounting_matches_timeline(self, runner):
+        report = runner.run(MINI_JOIN_SQL, Stack.HYBRID, split_index=1)
+        waits = sum(p.duration for p in report.timeline
+                    if p.actor == "host" and p.kind == "wait")
+        stalls = sum(p.duration for p in report.timeline
+                     if p.actor == "device" and p.kind == "stall")
+        assert report.host_wait_total == pytest.approx(waits)
+        assert report.device_stall_time == pytest.approx(stalls)
+
+
+class TestResultsUnchanged:
+    def test_splits_row_identical_to_host_only(self, runner):
+        reports = runner.run_all_splits(MINI_JOIN_SQL)
+        baseline = reports["host-only"].result.sorted_rows()
+        for name, report in reports.items():
+            assert not isinstance(report, Exception), f"{name}: {report}"
+            assert report.result.sorted_rows() == baseline, name
+
+
+class TestRunAllSplitsBugfixes:
+    def test_key_matches_strategy_label(self, runner):
+        # Regression: the BLK baseline was stored under "host-only" but
+        # labelled "host-only(blk)".
+        reports = runner.run_all_splits(MINI_JOIN_SQL)
+        for key, report in reports.items():
+            if isinstance(report, Exception):
+                continue
+            assert report.strategy == key
+
+    def test_programming_errors_propagate(self, runner, monkeypatch):
+        # Regression: a bare `except Exception` swallowed TypeErrors into
+        # the results dict as if the strategy were infeasible.
+        def explode(plan, split_index):
+            raise TypeError("programming error")
+        monkeypatch.setattr(runner._cooperative, "run_split", explode)
+        with pytest.raises(TypeError):
+            runner.run_all_splits(MINI_JOIN_SQL)
+
+    def test_repro_errors_recorded_as_infeasible(self, runner, monkeypatch):
+        def overload(plan, split_index):
+            raise DeviceOverloadError("out of buffers")
+        monkeypatch.setattr(runner._cooperative, "run_split", overload)
+        reports = runner.run_all_splits(MINI_JOIN_SQL)
+        assert all(isinstance(reports[key], DeviceOverloadError)
+                   for key in reports if key.startswith("H"))
+
+
+class TestZeroRowBatches:
+    def test_empty_device_result_skips_transfer(self, runner):
+        # Regression: empty batches used to charge a 64-byte minimum
+        # transfer and emit a fetch phase.
+        report = runner.run(EMPTY_PREFIX_SQL, Stack.HYBRID, split_index=0)
+        assert report.intermediate_rows == 0
+        assert report.transfer_time == 0.0
+        assert not [p for p in report.timeline if p.kind == "transfer"]
+        assert report.result.sorted_rows() == runner.run(
+            EMPTY_PREFIX_SQL, Stack.BLK).result.sorted_rows()

@@ -61,8 +61,23 @@ class TestExecutionReport:
         assert shares["wait_initial"] == pytest.approx(20.0)
         assert shares["processing"] == pytest.approx(60.0)
 
-    def test_stage_shares_zero_time(self):
-        assert self._report(total_time=0.0).host_stage_shares() == {}
+    def test_stage_shares_zero_stages(self):
+        report = self._report(setup_time=0.0, host_wait_initial=0.0,
+                              host_wait_other=0.0, transfer_time=0.0,
+                              host_processing_time=0.0)
+        assert report.host_stage_shares() == {}
+
+    def test_stage_shares_sum_to_100_with_overlap(self):
+        # Regression: overlapping stages divided by total_time summed past
+        # 100%; normalising over the stage sum keeps them at 100%.
+        report = self._report(total_time=5.0)     # stages sum to 10.0
+        shares = report.host_stage_shares()
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_stage_shares_include_device_stall(self):
+        report = self._report(device_stall_time=10.0)  # half the stage sum
+        shares = report.host_stage_shares()
+        assert shares["device_stall"] == pytest.approx(50.0)
 
     def test_summary_text(self):
         text = self._report().summary()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ResourceError
 from repro.sim import BusyResource, EventLoop, SimClock
 
 
@@ -141,10 +141,27 @@ class TestBusyResource:
         assert resource.utilization(4.0) == 0.5
         assert resource.utilization(0.0) == 0.0
 
-    def test_utilization_capped_at_one(self):
+    def test_utilization_not_clamped_oversubscription_raises(self):
+        # Regression: the old clamp to 1.0 hid double-booking bugs.
         resource = BusyResource("core")
         resource.acquire(0.0, 10.0)
+        with pytest.raises(ResourceError):
+            resource.utilization(5.0)
+
+    def test_utilization_full_horizon_is_exactly_one(self):
+        resource = BusyResource("core")
+        resource.acquire(0.0, 5.0)
         assert resource.utilization(5.0) == 1.0
+
+    def test_stats(self):
+        resource = BusyResource("link")
+        resource.acquire(0.0, 2.0)
+        resource.acquire(1.0, 1.0)
+        stats = resource.stats(4.0)
+        assert stats["busy_time"] == 3.0
+        assert stats["wait_time"] == 1.0
+        assert stats["requests"] == 2
+        assert stats["utilization"] == pytest.approx(0.75)
 
     def test_reset(self):
         resource = BusyResource("core")
