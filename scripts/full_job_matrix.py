@@ -34,6 +34,9 @@ def parse_args(argv=None):
                         help="worker processes for the sweep (default 1)")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk workload cache directory")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write one Perfetto trace per (query, "
+                             "feasible strategy) into this directory")
     parser.add_argument("--output", default="full_job_matrix.json",
                         help="output JSON path")
     return parser.parse_args(argv)
@@ -62,7 +65,7 @@ def main(argv=None):
     sweep_start = time.time()
     matrix = sweep_job_matrix(query_names=names, workers=args.workers,
                               env=env, workload_cache_dir=args.cache_dir,
-                              on_result=on_result)
+                              on_result=on_result, trace_dir=args.trace_dir)
     sweep_seconds = time.time() - sweep_start
 
     summary = classify_matrix(matrix)

@@ -4,6 +4,7 @@
     python -m repro run 8c --stack hybrid --split 3
     python -m repro decide 17b                # the planner's choice
     python -m repro sweep 8c                  # Fig-16-style split sweep
+    python -m repro trace 8c --strategy split:best --out 8c.json
     python -m repro experiment fig11          # a paper experiment
     python -m repro list-queries              # the JOB suite
 
@@ -17,6 +18,8 @@ import sys
 from repro.bench import experiments as exp
 from repro.bench.reporting import format_table, ms, render_matrix_summary
 from repro.engine.stacks import Stack
+from repro.errors import ReproError
+from repro.sim import Tracer
 from repro.workloads.job_queries import all_queries, query
 from repro.workloads.loader import build_environment
 
@@ -81,6 +84,54 @@ def cmd_decide(args):
     return 0
 
 
+def _resolve_trace_strategy(env, plan, spec):
+    """Map a ``--strategy`` string to ``(stack, split_index)``.
+
+    ``split:best`` runs every strategy untraced first and picks the
+    fastest feasible hybrid split.
+    """
+    if spec == "host-blk":
+        return Stack.BLK, None
+    if spec in ("host-native", "host-nvme"):
+        return Stack.NATIVE, None
+    if spec in ("full-ndp", "ndp"):
+        return Stack.NDP, None
+    if spec.startswith("split:"):
+        token = spec.split(":", 1)[1]
+        if token == "best":
+            reports = env.runner.run_all_splits(plan)
+            feasible = {name: report.total_time
+                        for name, report in reports.items()
+                        if name.startswith("H")
+                        and not isinstance(report, Exception)}
+            if not feasible:
+                raise ReproError("no feasible hybrid split for this query")
+            best = min(feasible, key=feasible.get)
+            return Stack.HYBRID, int(best[1:])
+        try:
+            return Stack.HYBRID, int(token)
+        except ValueError:
+            pass
+    raise ReproError(
+        f"unknown strategy {spec!r}; expected host-blk, host-native, "
+        "full-ndp, split:<k> or split:best")
+
+
+def cmd_trace(args):
+    env = _build_env(args)
+    plan = env.runner.plan(query(args.query))
+    stack, split_index = _resolve_trace_strategy(env, plan, args.strategy)
+    tracer = Tracer()
+    report = env.run(plan, stack, split_index=split_index, tracer=tracer)
+    out = args.out or f"{args.query}-{report.strategy}.json"
+    tracer.write(out)
+    print(report.summary())
+    metrics = tracer.metrics()
+    print(f"trace written to {out} ({metrics['spans']} spans, "
+          f"{metrics['instants']} instants); open it at ui.perfetto.dev")
+    return 0
+
+
 def cmd_sweep(args):
     env = _build_env(args)
     result = exp.exp6_split_sweep_fig16(env, args.query)
@@ -138,6 +189,16 @@ def build_parser():
     sweep = sub.add_parser("sweep")
     sweep.add_argument("query")
     sweep.set_defaults(func=cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace", help="run one query and write a Perfetto trace")
+    trace.add_argument("query")
+    trace.add_argument("--strategy", default="split:best",
+                       help="host-blk | host-native | full-ndp | "
+                            "split:<k> | split:best (default)")
+    trace.add_argument("--out", default=None,
+                       help="output path (default <query>-<strategy>.json)")
+    trace.set_defaults(func=cmd_trace)
 
     experiment = sub.add_parser("experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -91,17 +91,19 @@ def exp1_table3(env, query_name="17b"):
 # ----------------------------------------------------------------------
 # Experiment 2 — Fig 12: the full JOB matrix
 # ----------------------------------------------------------------------
-def exp2_job_matrix_fig12(env, query_names=None, workers=1):
+def exp2_job_matrix_fig12(env, query_names=None, workers=1, trace_dir=None):
     """Per-query times for host-only, H0..Hn, full NDP.
 
     ``query_names`` defaults to all 113 JOB queries; pass a subset for
     quick runs.  ``workers>1`` shards the sweep over processes (each
     rebuilding ``env`` deterministically); results are identical to the
-    serial sweep.  Returns {name: {strategy: seconds-or-None}}.
+    serial sweep.  ``trace_dir`` emits one Perfetto trace per (query,
+    feasible strategy).  Returns {name: {strategy: seconds-or-None}}.
     """
     from repro.bench.parallel import sweep_job_matrix
     names = list(query_names) if query_names else sorted(all_queries())
-    return sweep_job_matrix(query_names=names, workers=workers, env=env)
+    return sweep_job_matrix(query_names=names, workers=workers, env=env,
+                            trace_dir=trace_dir)
 
 
 def classify_matrix(matrix, tolerance=ON_PAR_TOLERANCE):

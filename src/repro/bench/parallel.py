@@ -12,6 +12,7 @@ the sharded sweep is bit-identical to the serial one for a fixed seed.
 import os
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.sim import Tracer
 from repro.workloads.job_queries import all_queries, query
 from repro.workloads.loader import build_environment
 
@@ -20,6 +21,7 @@ WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 
 # Per-worker-process environment, built once by the pool initializer.
 _WORKER_ENV = None
+_WORKER_TRACE_DIR = None
 
 
 def default_workers():
@@ -30,26 +32,47 @@ def default_workers():
         return 1
 
 
-def strategy_times(env, query_name):
-    """{strategy: total_time or None} for one query on one environment."""
-    reports = env.runner.run_all_splits(query(query_name))
+def strategy_times(env, query_name, trace_dir=None):
+    """{strategy: total_time or None} for one query on one environment.
+
+    With ``trace_dir`` set, every feasible strategy run is traced and
+    written as ``<trace_dir>/<query>-<strategy>.json`` (Chrome
+    ``trace_event`` JSON, one file per strategy).
+    """
+    tracers = {}
+    tracer_factory = None
+    if trace_dir:
+        def tracer_factory(strategy):
+            tracers[strategy] = Tracer()
+            return tracers[strategy]
+    reports = env.runner.run_all_splits(query(query_name),
+                                        tracer_factory=tracer_factory)
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        for strategy, report in reports.items():
+            if isinstance(report, Exception):
+                continue   # infeasible: its tracer may hold open spans
+            tracers[strategy].write(os.path.join(
+                trace_dir, f"{query_name}-{strategy}.json"))
     return {strategy: (None if isinstance(report, Exception)
                        else report.total_time)
             for strategy, report in reports.items()}
 
 
-def _init_worker(env_kwargs):
-    global _WORKER_ENV
+def _init_worker(env_kwargs, trace_dir=None):
+    global _WORKER_ENV, _WORKER_TRACE_DIR
     _WORKER_ENV = build_environment(**env_kwargs)
+    _WORKER_TRACE_DIR = trace_dir
 
 
 def _sweep_one(query_name):
-    return query_name, strategy_times(_WORKER_ENV, query_name)
+    return query_name, strategy_times(_WORKER_ENV, query_name,
+                                      trace_dir=_WORKER_TRACE_DIR)
 
 
 def sweep_job_matrix(query_names=None, workers=1, env=None,
                      env_kwargs=None, workload_cache_dir=None,
-                     on_result=None):
+                     on_result=None, trace_dir=None):
     """The Fig-12 matrix ``{query: {strategy: seconds-or-None}}``.
 
     ``workers=1`` runs serially on ``env`` (built from ``env_kwargs``
@@ -60,7 +83,10 @@ def sweep_job_matrix(query_names=None, workers=1, env=None,
     so serial and parallel sweeps serialize to identical JSON.
 
     ``on_result(name, times)`` is invoked in the parent as each query
-    completes, for progress reporting.
+    completes, for progress reporting.  ``trace_dir`` writes one Perfetto
+    trace per (query, feasible strategy) into the directory — traces are
+    per-query files, so the sharded sweep emits the same set as the
+    serial one.
     """
     names = sorted(query_names) if query_names else sorted(all_queries())
     if env_kwargs is None:
@@ -77,7 +103,7 @@ def sweep_job_matrix(query_names=None, workers=1, env=None,
         if env is None:
             env = build_environment(**env_kwargs)
         for name in names:
-            times = strategy_times(env, name)
+            times = strategy_times(env, name, trace_dir=trace_dir)
             matrix[name] = times
             if on_result is not None:
                 on_result(name, times)
@@ -85,7 +111,7 @@ def sweep_job_matrix(query_names=None, workers=1, env=None,
 
     with ProcessPoolExecutor(max_workers=workers,
                              initializer=_init_worker,
-                             initargs=(env_kwargs,)) as pool:
+                             initargs=(env_kwargs, trace_dir)) as pool:
         # map() preserves submission order: the matrix is keyed in sorted
         # order exactly like the serial path, whatever finishes first.
         for name, times in pool.map(_sweep_one, names):

@@ -1,5 +1,7 @@
 """Plain-text rendering of experiment results."""
 
+from repro.errors import ReproError
+
 
 def format_table(headers, rows, title=None):
     """Render an aligned text table."""
@@ -35,7 +37,12 @@ def render_family_grid(per_query, legend=None):
     """
     families = {}
     for name, outcome in per_query.items():
-        number = int("".join(ch for ch in name if ch.isdigit()))
+        digits = "".join(ch for ch in name if ch.isdigit())
+        if not digits:
+            raise ReproError(
+                f"query name {name!r} has no family number; JOB query "
+                "names look like '8c' (family digits + variant letter)")
+        number = int(digits)
         letter = "".join(ch for ch in name if ch.isalpha())
         families.setdefault(number, {})[letter] = outcome
     if not families:

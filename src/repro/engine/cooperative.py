@@ -24,12 +24,21 @@ from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
 from repro.engine.timing import ExecutionLocation
 from repro.errors import PlanError
 from repro.query.ast import conjuncts
-from repro.sim import BusyResource, EventLoop, SimClock
+from repro.sim import BusyResource, EventLoop, SimClock, as_tracer
 
 #: Resource names used in ``ExecutionReport.resource_stats`` / timelines.
 LINK_RESOURCE = "pcie_link"
 DEVICE_RESOURCE = "device_core1"
 HOST_RESOURCE = "host_cpu"
+
+#: Track that carries one root span per traced execution.
+EXEC_TRACK = "exec"
+
+
+def _counter_deltas(counters):
+    """Non-zero entries of a :class:`WorkCounters` delta, for trace args."""
+    return {name: value for name, value in counters.as_dict().items()
+            if value}
 
 
 class _SplitSimulation:
@@ -46,7 +55,8 @@ class _SplitSimulation:
     """
 
     def __init__(self, executor, timing, plan, batches, per_batch_device,
-                 row_bytes, slots, setup_time, session, host_counters):
+                 row_bytes, slots, setup_time, session, host_counters,
+                 tracer=None, strategy_label="split"):
         self.executor = executor
         self.timing = timing
         self.plan = plan
@@ -58,12 +68,15 @@ class _SplitSimulation:
         self.setup_time = setup_time
         self.session = session
         self.host_counters = host_counters
+        self.tracer = as_tracer(tracer)
+        self.strategy_label = strategy_label
+        self.root_span = None
 
         self.clock = SimClock()
-        self.loop = EventLoop(self.clock)
-        self.link = BusyResource(LINK_RESOURCE)
-        self.core = BusyResource(DEVICE_RESOURCE)
-        self.cpu = BusyResource(HOST_RESOURCE)
+        self.loop = EventLoop(self.clock, tracer=self.tracer)
+        self.link = BusyResource(LINK_RESOURCE, tracer=self.tracer)
+        self.core = BusyResource(DEVICE_RESOURCE, tracer=self.tracer)
+        self.cpu = BusyResource(HOST_RESOURCE, tracer=self.tracer)
 
         self.timeline = []
         self.joined_rows = []
@@ -81,9 +94,20 @@ class _SplitSimulation:
         self.host_end = 0.0
 
     # -- helpers -------------------------------------------------------
-    def _phase(self, actor, kind, start, end, label, resource=""):
+    def _phase(self, actor, kind, start, end, label, resource="",
+               operator="", extra=None):
         self.timeline.append(
             TimelinePhase(actor, kind, start, end, label, resource=resource))
+        if self.tracer.enabled:
+            args = {"placement": "DEVICE" if actor == "device" else "HOST"}
+            if resource:
+                args["resource"] = resource
+            if operator:
+                args["operator"] = operator
+            if extra:
+                args.update(extra)
+            self.tracer.span(f"{actor}/{kind}", label or kind, start, end,
+                             category=kind, parent=self.root_span, args=args)
 
     def _host_wait(self, index, start, end, label):
         if end <= start:
@@ -92,23 +116,35 @@ class _SplitSimulation:
             self.host_wait_initial += end - start
         else:
             self.host_wait_other += end - start
-        self._phase("host", "wait", start, end, label)
+        self._phase("host", "wait", start, end, label, operator="wait",
+                    extra={"batch": index} if self.tracer.enabled else None)
 
     # -- simulation ----------------------------------------------------
     def run(self):
         """Run the simulation; returns the total simulated time."""
-        self.loop.schedule_at(0.0, self._begin)
+        if self.tracer.enabled:
+            self.root_span = self.tracer.begin(
+                EXEC_TRACK, self.strategy_label, 0.0, category="execution",
+                args={"strategy": self.strategy_label,
+                      "batches": self.n_batches, "slots": self.slots})
+        self.loop.schedule_at(0.0, self._begin, label="begin")
         self.loop.run()
-        return max(self.link.free_at, self.core.free_at, self.cpu.free_at)
+        total = max(self.link.free_at, self.core.free_at, self.cpu.free_at)
+        if self.root_span is not None:
+            self.tracer.end(self.root_span, total)
+        return total
 
     def _begin(self):
         # The host assembles the NDP command and pushes its payload over
         # the link; the device cannot start before the command arrived.
-        begin, end = self.link.acquire(0.0, self.setup_time)
+        begin, end = self.link.acquire(0.0, self.setup_time,
+                                       label="NDP command payload")
         self._phase("host", "setup", begin, end, "NDP command",
-                    resource=LINK_RESOURCE)
-        self.loop.schedule_at(end, lambda: self._device_next(0))
-        self.loop.schedule_at(end, lambda: self._host_want(0))
+                    resource=LINK_RESOURCE, operator="ndp-command")
+        self.loop.schedule_at(end, lambda: self._device_next(0),
+                              label="device start")
+        self.loop.schedule_at(end, lambda: self._host_want(0),
+                              label="host start")
 
     # -- device process ------------------------------------------------
     def _device_next(self, i):
@@ -123,30 +159,41 @@ class _SplitSimulation:
 
     def _device_produce(self, i):
         now = self.clock.now
-        begin, end = self.core.acquire(now, self.per_batch_device)
+        begin, end = self.core.acquire(now, self.per_batch_device,
+                                       label=f"produce batch {i}")
         self._phase("device", "compute", begin, end,
                     f"batch {i} ({len(self.batches[i])} rows)",
-                    resource=DEVICE_RESOURCE)
-        self.loop.schedule_at(end, lambda: self._device_produced(i))
+                    resource=DEVICE_RESOURCE, operator="pqep-prefix",
+                    extra={"batch": i, "rows": len(self.batches[i])}
+                    if self.tracer.enabled else None)
+        self.loop.schedule_at(end, lambda: self._device_produced(i),
+                              label=f"device produced {i}")
 
     def _device_produced(self, i):
         now = self.clock.now
         batch = self.batches[i]
         if batch:
             push = self.timing.transfer_time(len(batch) * self.row_bytes)
-            begin, end = self.link.acquire(now, push)
+            begin, end = self.link.acquire(now, push,
+                                           label=f"push batch {i}")
             if begin > now:
                 # The link is carrying another transfer: queuing delay.
                 self.device_stall += begin - now
                 self._phase("device", "stall", now, begin,
-                            f"link busy before push {i}")
+                            f"link busy before push {i}", operator="stall")
             self._phase("device", "transfer", begin, end,
-                        f"push batch {i}", resource=LINK_RESOURCE)
+                        f"push batch {i}", resource=LINK_RESOURCE,
+                        operator="dma-push",
+                        extra={"batch": i,
+                               "bytes": len(batch) * self.row_bytes}
+                        if self.tracer.enabled else None)
             self.transfer_total += end - begin
-            self.loop.schedule_at(end, lambda: self._batch_ready(i))
+            self.loop.schedule_at(end, lambda: self._batch_ready(i),
+                                  label=f"batch {i} ready")
         else:
             # Zero-row batch: nothing crosses the link.
-            self.loop.schedule_at(now, lambda: self._batch_ready(i))
+            self.loop.schedule_at(now, lambda: self._batch_ready(i),
+                                  label=f"batch {i} ready (empty)")
         # Production of the next batch pipelines with the push DMA.
         self._device_next(i + 1)
 
@@ -173,15 +220,20 @@ class _SplitSimulation:
         now = self.clock.now
         if self.batches[i]:
             fetch = self.timing.fetch_command_time()
-            begin, end = self.link.acquire(now, fetch)
+            begin, end = self.link.acquire(now, fetch,
+                                           label=f"fetch batch {i}")
             # A device push may occupy the link: the host keeps waiting.
             self._host_wait(i, now, begin, f"link busy before fetch {i}")
             self._phase("host", "transfer", begin, end,
-                        f"fetch batch {i}", resource=LINK_RESOURCE)
+                        f"fetch batch {i}", resource=LINK_RESOURCE,
+                        operator="fetch-command",
+                        extra={"batch": i} if self.tracer.enabled else None)
             self.transfer_total += end - begin
-            self.loop.schedule_at(end, lambda: self._host_consume(i))
+            self.loop.schedule_at(end, lambda: self._host_consume(i),
+                                  label=f"host consume {i}")
         else:
-            self.loop.schedule_at(now, lambda: self._host_consume(i))
+            self.loop.schedule_at(now, lambda: self._host_consume(i),
+                                  label=f"host consume {i} (empty)")
 
     def _host_consume(self, i):
         now = self.clock.now
@@ -193,24 +245,31 @@ class _SplitSimulation:
             if now > since:
                 self.device_stall += now - since
                 self._phase("device", "stall", since, now,
-                            f"slots full before batch {index}")
+                            f"slots full before batch {index}",
+                            operator="stall")
             self._device_produce(index)
 
-        batch_time = self.executor._process_batch(
+        batch_time, delta = self.executor._process_batch(
             self.session, self.batches[i], self.row_bytes,
             self.host_counters, self.joined_rows)
-        begin, end = self.cpu.acquire(now, batch_time)
+        begin, end = self.cpu.acquire(now, batch_time,
+                                      label=f"process batch {i}")
         self._phase("host", "compute", begin, end, f"process batch {i}",
-                    resource=HOST_RESOURCE)
+                    resource=HOST_RESOURCE, operator="fragment-join",
+                    extra={"batch": i, "counters": _counter_deltas(delta)}
+                    if self.tracer.enabled else None)
         self.host_processing += batch_time
-        self.loop.schedule_at(end, lambda: self._host_want(i + 1))
+        self.loop.schedule_at(end, lambda: self._host_want(i + 1),
+                              label=f"host want {i + 1}")
 
     def _host_epilogue(self):
         now = self.clock.now
-        epilogue = self.executor._finalize_time(self)
-        begin, end = self.cpu.acquire(now, epilogue)
+        epilogue, delta = self.executor._finalize_time(self)
+        begin, end = self.cpu.acquire(now, epilogue, label="finalize")
         self._phase("host", "compute", begin, end, "finalize",
-                    resource=HOST_RESOURCE)
+                    resource=HOST_RESOURCE, operator="finalize",
+                    extra={"counters": _counter_deltas(delta)}
+                    if self.tracer.enabled else None)
         self.host_processing += epilogue
         self.host_end = end
 
@@ -248,7 +307,12 @@ class CooperativeExecutor:
 
     def _process_batch(self, session, batch, row_bytes, host_counters,
                        joined_rows):
-        """Join one device batch on the host; returns its charged time."""
+        """Join one device batch on the host.
+
+        Returns ``(charged_seconds, counter_delta)`` — the delta is the
+        host work this batch added, which traced runs attach to the
+        batch's compute span.
+        """
         before = host_counters.copy()
         if session is not None:
             fragment_rows, _fragment_bytes = session.process_batch(
@@ -260,10 +324,14 @@ class CooperativeExecutor:
         for name, value in before.as_dict().items():
             setattr(delta, name, getattr(delta, name) - value)
         batch_time, _ = self.timing.charge(delta, ExecutionLocation.HOST)
-        return batch_time
+        return batch_time, delta
 
     def _finalize_time(self, sim):
-        """Run the host epilogue for ``sim``; returns its charged time."""
+        """Run the host epilogue for ``sim``.
+
+        Returns ``(charged_seconds, counter_delta)`` like
+        :meth:`_process_batch`.
+        """
         counters = sim.host_counters
         before = counters.copy()
         sim.result = self.host.finalize_fragment(sim.plan, sim.joined_rows,
@@ -272,13 +340,18 @@ class CooperativeExecutor:
         for name, value in before.as_dict().items():
             setattr(delta, name, getattr(delta, name) - value)
         epilogue, _ = self.timing.charge(delta, ExecutionLocation.HOST)
-        return epilogue
+        return epilogue, delta
 
     # ------------------------------------------------------------------
     # Hybrid split execution
     # ------------------------------------------------------------------
-    def run_split(self, plan, split_index):
-        """Execute the plan with split point ``H{split_index}``."""
+    def run_split(self, plan, split_index, tracer=None):
+        """Execute the plan with split point ``H{split_index}``.
+
+        ``tracer`` (a :class:`~repro.sim.Tracer`) records the run as
+        structured spans; when omitted tracing is a no-op.
+        """
+        tracer = as_tracer(tracer)
         if not 0 <= split_index < plan.table_count:
             raise PlanError(
                 f"split index {split_index} out of range for "
@@ -318,7 +391,8 @@ class CooperativeExecutor:
 
             sim = _SplitSimulation(
                 self, self.timing, plan, batches, per_batch_device,
-                row_bytes, slots, setup_time, session, host_counters)
+                row_bytes, slots, setup_time, session, host_counters,
+                tracer=tracer, strategy_label=f"H{split_index}")
             total = sim.run()
             _final_time, host_breakdown = self.timing.charge(
                 host_counters, ExecutionLocation.HOST)
@@ -344,6 +418,7 @@ class CooperativeExecutor:
                 intermediate_bytes=len(rows) * row_bytes,
                 timeline=sim.timeline,
                 resource_stats=sim.resource_stats(total),
+                trace_metrics=tracer.metrics(),
                 notes={"pointer_cache": execution.pointer_cache,
                        "device_aliases": device_aliases,
                        "device_stage_rows": execution.stage_trace},
@@ -354,8 +429,13 @@ class CooperativeExecutor:
     # ------------------------------------------------------------------
     # Full NDP execution
     # ------------------------------------------------------------------
-    def run_full_ndp(self, plan):
-        """Execute the whole QEP on the device (aggregation included)."""
+    def run_full_ndp(self, plan, tracer=None):
+        """Execute the whole QEP on the device (aggregation included).
+
+        ``tracer`` records the run as structured spans like
+        :meth:`run_split`.
+        """
+        tracer = as_tracer(tracer)
         device_entries = plan.entries
         device_residual = conjuncts(plan.residual)
         command = self.ndp.prepare_command(
@@ -381,13 +461,22 @@ class CooperativeExecutor:
 
             # Serialize command payload, device compute, and the result
             # push on the sim kernel's resources.
-            link = BusyResource(LINK_RESOURCE)
-            core = BusyResource(DEVICE_RESOURCE)
-            cpu = BusyResource(HOST_RESOURCE)
-            _s0, setup_end = link.acquire(0.0, setup_time)
-            _c0, compute_end = core.acquire(setup_end, device_time)
-            push_begin, total = link.acquire(compute_end, transfer)
-            cpu.acquire(0.0, setup_time)   # host assembles the command
+            link = BusyResource(LINK_RESOURCE, tracer=tracer)
+            core = BusyResource(DEVICE_RESOURCE, tracer=tracer)
+            cpu = BusyResource(HOST_RESOURCE, tracer=tracer)
+            root_span = None
+            if tracer.enabled:
+                root_span = tracer.begin(
+                    EXEC_TRACK, "full-ndp", 0.0, category="execution",
+                    args={"strategy": "full-ndp", "batches": 1})
+            _s0, setup_end = link.acquire(0.0, setup_time,
+                                          label="NDP command payload")
+            _c0, compute_end = core.acquire(setup_end, device_time,
+                                            label="full QEP")
+            push_begin, total = link.acquire(compute_end, transfer,
+                                             label="result push")
+            cpu.acquire(0.0, setup_time,   # host assembles the command
+                        label="assemble NDP command")
             timeline = [
                 TimelinePhase("host", "setup", 0.0, setup_end, "NDP command",
                               resource=LINK_RESOURCE),
@@ -398,6 +487,21 @@ class CooperativeExecutor:
                 TimelinePhase("host", "transfer", push_begin, total,
                               "result fetch", resource=LINK_RESOURCE),
             ]
+            if tracer.enabled:
+                _OPERATORS = {"setup": "ndp-command", "compute": "full-qep",
+                              "wait": "wait", "transfer": "result-fetch"}
+                for phase in timeline:
+                    args = {"placement": ("DEVICE" if phase.actor == "device"
+                                          else "HOST"),
+                            "operator": _OPERATORS[phase.kind]}
+                    if phase.resource:
+                        args["resource"] = phase.resource
+                    if phase.kind == "compute":
+                        args["counters"] = _counter_deltas(execution.counters)
+                    tracer.span(f"{phase.actor}/{phase.kind}", phase.label,
+                                phase.start, phase.end, category=phase.kind,
+                                parent=root_span, args=args)
+                tracer.end(root_span, total)
             resource_stats = {r.name: r.stats(total)
                               for r in (link, core, cpu)}
             return ExecutionReport(
@@ -416,6 +520,7 @@ class CooperativeExecutor:
                 intermediate_bytes=len(execution.rows) * execution.row_bytes,
                 timeline=timeline,
                 resource_stats=resource_stats,
+                trace_metrics=tracer.metrics(),
                 notes={"pointer_cache": execution.pointer_cache},
             )
         finally:

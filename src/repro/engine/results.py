@@ -85,6 +85,9 @@ class ExecutionReport:
     #: {resource_name: {busy_time, wait_time, requests, utilization}} for
     #: the BusyResources (PCIe link, device core, host CPU) the run used.
     resource_stats: dict = field(default_factory=dict)
+    #: Flat {metric: number} summary from the run's Tracer (span counts,
+    #: per-track and per-category span time); empty for untraced runs.
+    trace_metrics: dict = field(default_factory=dict)
     notes: dict = field(default_factory=dict)
 
     @property
@@ -147,6 +150,7 @@ class ExecutionReport:
             "host_stage_shares": self.host_stage_shares(),
             "device_operation_shares": self.device_operation_shares(),
             "resource_stats": self.resource_stats,
+            "trace_metrics": dict(self.trace_metrics),
             "notes": {key: value for key, value in self.notes.items()
                       if isinstance(value, (str, int, float, bool, list))},
         }

@@ -12,7 +12,8 @@ query (SQL or prebuilt plan) on any stack, returning an
 
 import enum
 
-from repro.engine.cooperative import CooperativeExecutor
+from repro.engine.cooperative import (EXEC_TRACK, HOST_RESOURCE,
+                                      CooperativeExecutor)
 from repro.engine.host import HostEngine, HostEngineConfig
 from repro.engine.ndp import NDPEngine, NDPEngineConfig
 from repro.engine.timing import HostIOPath, TimingModel
@@ -82,26 +83,58 @@ class StackRunner:
         """Build the baseline physical plan for SQL text."""
         return build_plan(sql, self.catalog)
 
-    def run(self, query, stack, split_index=None):
+    def run(self, query, stack, split_index=None, tracer=None):
         """Execute ``query`` (SQL text or QueryPlan) on ``stack``.
 
         For ``Stack.HYBRID`` a ``split_index`` (the k of Hk) is required.
+        ``tracer`` (a :class:`repro.sim.Tracer`) records the execution as
+        structured spans for the Perfetto exporter; ``None`` disables
+        tracing at zero cost.
         """
         plan = self.plan(query) if isinstance(query, str) else query
         if stack is Stack.BLK:
-            return self._host_blk.execute(plan, strategy="host-only(blk)")
+            return self._traced_host(self._host_blk, plan,
+                                     "host-only(blk)", tracer)
         if stack is Stack.NATIVE:
-            return self._host_native.execute(plan,
-                                             strategy="host-only(native)")
+            return self._traced_host(self._host_native, plan,
+                                     "host-only(native)", tracer)
         if stack is Stack.NDP:
-            return self._cooperative.run_full_ndp(plan)
+            return self._cooperative.run_full_ndp(plan, tracer=tracer)
         if stack is Stack.HYBRID:
             if split_index is None:
                 raise PlanError("hybrid execution needs a split_index")
-            return self._cooperative.run_split(plan, split_index)
+            return self._cooperative.run_split(plan, split_index,
+                                               tracer=tracer)
         raise PlanError(f"unknown stack {stack!r}")
 
-    def run_all_splits(self, query):
+    def _traced_host(self, engine, plan, strategy, tracer):
+        """Run a host-only plan, recording its breakdown as trace spans.
+
+        Host-only execution is not event-driven (one timing charge covers
+        the whole plan), so its trace is the Table-4 breakdown laid out
+        sequentially on the host compute track under one root span.
+        """
+        report = engine.execute(plan, strategy=strategy)
+        if tracer is not None and tracer.enabled:
+            root = tracer.begin(EXEC_TRACK, strategy, 0.0,
+                                category="execution",
+                                args={"strategy": strategy})
+            offset = 0.0
+            for category, seconds in vars(report.host_breakdown).items():
+                if seconds <= 0:
+                    continue
+                tracer.span("host/compute", category, offset,
+                            offset + seconds, category="compute",
+                            parent=root,
+                            args={"placement": "HOST",
+                                  "resource": HOST_RESOURCE,
+                                  "operator": category})
+                offset += seconds
+            tracer.end(root, report.total_time)
+            report.trace_metrics = tracer.metrics()
+        return report
+
+    def run_all_splits(self, query, tracer_factory=None):
         """Run every strategy: BLK, H0..H(n-1), full NDP.
 
         Returns ``{strategy_name: ExecutionReport}`` — the raw material
@@ -110,19 +143,30 @@ class StackRunner:
         stack under the matrix's canonical ``"host-only"`` name.  Only
         repro errors (device overload and friends) are recorded as
         infeasible strategies — programming errors propagate.
+
+        ``tracer_factory(strategy_name)`` — when given — is called once
+        per strategy and must return a :class:`repro.sim.Tracer` (or
+        ``None``); the sweep layer uses it to emit one Perfetto trace per
+        strategy.
         """
+        def _tracer(name):
+            return tracer_factory(name) if tracer_factory else None
+
         plan = self.plan(query) if isinstance(query, str) else query
-        reports = {"host-only": self._host_blk.execute(
-            plan, strategy="host-only")}
+        baseline = self._traced_host(self._host_blk, plan, "host-only",
+                                     _tracer("host-only"))
+        reports = {"host-only": baseline}
         for k in range(plan.table_count):
             try:
                 reports[f"H{k}"] = self.run(plan, Stack.HYBRID,
-                                            split_index=k)
+                                            split_index=k,
+                                            tracer=_tracer(f"H{k}"))
             except (ReproError, ResourceError) as error:
                 # overload -> strategy infeasible
                 reports[f"H{k}"] = error
         try:
-            reports["full-ndp"] = self.run(plan, Stack.NDP)
+            reports["full-ndp"] = self.run(plan, Stack.NDP,
+                                           tracer=_tracer("full-ndp"))
         except (ReproError, ResourceError) as error:
             reports["full-ndp"] = error
         return reports

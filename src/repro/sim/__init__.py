@@ -9,5 +9,9 @@ kernel here advances a simulated clock.  Everything is deterministic.
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventLoop
 from repro.sim.resources import BusyResource
+from repro.sim.trace import (NULL_TRACER, CounterRecord, InstantRecord,
+                             NullTracer, SpanRecord, Tracer, as_tracer)
 
-__all__ = ["SimClock", "Event", "EventLoop", "BusyResource"]
+__all__ = ["SimClock", "Event", "EventLoop", "BusyResource", "Tracer",
+           "NullTracer", "NULL_TRACER", "SpanRecord", "InstantRecord",
+           "CounterRecord", "as_tracer"]

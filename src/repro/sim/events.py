@@ -10,6 +10,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.sim.trace import as_tracer
 
 
 @dataclass(order=True)
@@ -27,10 +28,14 @@ class EventLoop:
 
     Actions are callables invoked with no arguments; they may schedule
     further events.  ``run()`` drains the queue and returns the final time.
+
+    With a :class:`~repro.sim.trace.Tracer` attached, every fired event
+    is recorded as an instant on the ``events`` track.
     """
 
-    def __init__(self, clock):
+    def __init__(self, clock, tracer=None):
         self._clock = clock
+        self.tracer = as_tracer(tracer)
         self._queue = []
         self._counter = itertools.count()
         self._fired = 0
@@ -68,6 +73,9 @@ class EventLoop:
         event = heapq.heappop(self._queue)
         self._clock.advance_to(event.time)
         self._fired += 1
+        if self.tracer.enabled:
+            self.tracer.instant("events", event.label or "event", event.time,
+                                args={"seq": event.seq})
         event.action()
         return event
 

@@ -9,6 +9,7 @@ so contention shows up as queuing delay instead of silently overlapping.
 """
 
 from repro.errors import ResourceError
+from repro.sim.trace import as_tracer
 
 #: Relative slack allowed before ``utilization`` calls over-subscription.
 _UTILIZATION_TOLERANCE = 1e-9
@@ -20,10 +21,16 @@ class BusyResource:
     ``acquire(start, duration)`` returns ``(begin, end)``: the request
     begins at ``max(start, free_at)`` and ends ``duration`` later.  Total
     busy and wait times are tracked for reporting.
+
+    With a :class:`~repro.sim.trace.Tracer` attached, every acquisition
+    is recorded as a busy span on track ``resource/<name>`` (whose end is
+    the release) and any queueing delay in front of it as a span on
+    ``resource/<name>/queue``.
     """
 
-    def __init__(self, name):
+    def __init__(self, name, tracer=None):
         self.name = name
+        self.tracer = as_tracer(tracer)
         self._free_at = 0.0
         self._busy_time = 0.0
         self._wait_time = 0.0
@@ -49,14 +56,28 @@ class BusyResource:
         """Number of requests served."""
         return self._requests
 
-    def acquire(self, start, duration):
-        """Serve a request arriving at ``start`` needing ``duration`` seconds."""
+    def acquire(self, start, duration, label=""):
+        """Serve a request arriving at ``start`` needing ``duration`` seconds.
+
+        ``label`` only names the trace spans; it does not change timing.
+        """
         begin = max(start, self._free_at)
         end = begin + duration
         self._wait_time += begin - start
         self._busy_time += duration
         self._free_at = end
         self._requests += 1
+        if self.tracer.enabled:
+            if begin > start:
+                self.tracer.span(f"resource/{self.name}/queue",
+                                 label or "request", start, begin,
+                                 category="queue",
+                                 args={"resource": self.name,
+                                       "wait": begin - start})
+            self.tracer.span(f"resource/{self.name}", label or "busy",
+                             begin, end, category="busy",
+                             args={"resource": self.name,
+                                   "request": self._requests})
         return begin, end
 
     def utilization(self, horizon):

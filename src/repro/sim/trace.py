@@ -1,0 +1,330 @@
+"""Execution tracing: structured spans/instants over the simulated clock.
+
+A :class:`Tracer` records what the sim kernel actually scheduled — every
+resource acquisition (and the queueing wait in front of it), every event
+the loop fired, and every executor-level phase — as flat, stable-id
+records on named *tracks*.  Records are pure data; nothing here advances
+time or owns behaviour, so a tracer can be attached to any combination of
+:class:`~repro.sim.SimClock` / :class:`~repro.sim.EventLoop` /
+:class:`~repro.sim.BusyResource` users without changing what they compute.
+
+Tracks are free-form strings; the conventions used by the cooperative
+executor are documented in ``docs/observability.md``:
+
+- ``exec``                     — one root span per execution (H2, full-ndp, ...)
+- ``host/<kind>``              — host-side phases (setup/wait/transfer/compute)
+- ``device/<kind>``            — device-side phases (compute/transfer/stall)
+- ``resource/<name>``          — busy intervals of one :class:`BusyResource`
+- ``resource/<name>/queue``    — the queueing delay before a busy interval
+- ``events``                   — instants for every fired sim event
+
+Tracing is zero-cost when off: the default collaborator is the singleton
+:data:`NULL_TRACER`, whose methods are no-ops and whose ``enabled`` flag
+lets hot paths skip building argument dicts entirely.
+
+Exports: :meth:`Tracer.to_chrome` produces a Chrome ``trace_event`` JSON
+object (the format ui.perfetto.dev opens directly); :meth:`Tracer.dumps`
+serialises it canonically (sorted keys, compact separators) so identical
+runs produce byte-identical trace files; :meth:`Tracer.metrics` reduces
+the records to a flat dict that :class:`~repro.engine.results.\
+ExecutionReport.to_dict` carries as ``trace_metrics``.
+"""
+
+import itertools
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Simulated seconds -> Chrome trace_event microseconds.
+_MICROSECONDS = 1e6
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed interval on one track."""
+
+    id: int
+    track: str
+    name: str
+    category: str
+    start: float
+    end: float
+    parent: int = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self):
+        """Length of the span."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """One zero-duration moment on one track."""
+
+    id: int
+    track: str
+    name: str
+    time: float
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """A named set of numeric values sampled at one moment."""
+
+    id: int
+    track: str
+    name: str
+    time: float
+    values: dict = field(default_factory=dict)
+
+
+class NullTracer:
+    """The do-nothing tracer: the default everywhere tracing is optional.
+
+    ``enabled`` is False so instrumented code can skip building argument
+    payloads; every recording method accepts anything and returns a dummy
+    id.  ``metrics()`` is an empty dict, keeping report serialisation
+    uniform whether or not a run was traced.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, *args, **kwargs):
+        """Record nothing; return a dummy span id."""
+        return 0
+
+    def begin(self, *args, **kwargs):
+        """Open nothing; return a dummy span id."""
+        return 0
+
+    def end(self, *args, **kwargs):
+        """Close nothing."""
+
+    def instant(self, *args, **kwargs):
+        """Record nothing; return a dummy record id."""
+        return 0
+
+    def counter(self, *args, **kwargs):
+        """Record nothing; return a dummy record id."""
+        return 0
+
+    def metrics(self):
+        """No trace, no metrics."""
+        return {}
+
+
+#: Shared no-op tracer; ``tracer or NULL_TRACER`` is the idiom.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer):
+    """Normalise an optional tracer argument to a usable collaborator."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+class Tracer:
+    """Collects span/instant/counter records with stable ids.
+
+    Ids are handed out from a single monotonically increasing counter in
+    recording order, so a deterministic simulation produces a
+    deterministic trace — the property the golden-trace regression test
+    pins down.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._ids = itertools.count(1)
+        self._spans = []
+        self._instants = []
+        self._counters = []
+        self._open = {}
+
+    # -- recording ------------------------------------------------------
+    @property
+    def spans(self):
+        """All closed spans, in recording order."""
+        return list(self._spans)
+
+    @property
+    def instants(self):
+        """All instants, in recording order."""
+        return list(self._instants)
+
+    @property
+    def counter_records(self):
+        """All counter samples, in recording order."""
+        return list(self._counters)
+
+    def span(self, track, name, start, end, category="", parent=None,
+             args=None):
+        """Record a closed interval; returns its stable id."""
+        if end < start:
+            raise ReproError(
+                f"span {name!r} on {track!r} ends at {end} before its "
+                f"start {start}")
+        if start < 0:
+            raise ReproError(f"span {name!r} starts at negative time {start}")
+        record = SpanRecord(id=next(self._ids), track=track, name=name,
+                            category=category, start=float(start),
+                            end=float(end), parent=parent,
+                            args=dict(args or {}))
+        self._spans.append(record)
+        return record.id
+
+    def begin(self, track, name, start, category="", parent=None, args=None):
+        """Open a span whose end is not known yet; returns its id.
+
+        Used for the root execution span: children need the parent id
+        before the total time exists.  Every opened span must be closed
+        with :meth:`end` before export.
+        """
+        if start < 0:
+            raise ReproError(f"span {name!r} starts at negative time {start}")
+        span_id = next(self._ids)
+        self._open[span_id] = (track, name, float(start), category, parent,
+                               dict(args or {}))
+        return span_id
+
+    def end(self, span_id, end):
+        """Close a span previously opened with :meth:`begin`."""
+        if span_id not in self._open:
+            raise ReproError(f"span id {span_id} is not open")
+        track, name, start, category, parent, args = self._open.pop(span_id)
+        if end < start:
+            raise ReproError(
+                f"span {name!r} on {track!r} ends at {end} before its "
+                f"start {start}")
+        self._spans.append(SpanRecord(
+            id=span_id, track=track, name=name, category=category,
+            start=start, end=float(end), parent=parent, args=args))
+
+    def instant(self, track, name, time, args=None):
+        """Record a zero-duration moment; returns its stable id."""
+        record = InstantRecord(id=next(self._ids), track=track, name=name,
+                               time=float(time), args=dict(args or {}))
+        self._instants.append(record)
+        return record.id
+
+    def counter(self, track, name, time, values):
+        """Record a numeric sample set; returns its stable id."""
+        record = CounterRecord(id=next(self._ids), track=track, name=name,
+                               time=float(time), values=dict(values))
+        self._counters.append(record)
+        return record.id
+
+    # -- reduction ------------------------------------------------------
+    def metrics(self):
+        """Flat ``{metric_name: number}`` summary of the trace.
+
+        Per-track span time, per-category span time, and record counts —
+        the dict ``ExecutionReport.to_dict()`` exposes as
+        ``trace_metrics``.
+        """
+        track_time = {}
+        category_time = {}
+        for span in self._spans:
+            track_time[span.track] = (track_time.get(span.track, 0.0)
+                                      + span.duration)
+            if span.category:
+                category_time[span.category] = (
+                    category_time.get(span.category, 0.0) + span.duration)
+        flat = {
+            "spans": len(self._spans),
+            "instants": len(self._instants),
+            "counter_samples": len(self._counters),
+        }
+        for track in sorted(track_time):
+            flat[f"span_time.{track}"] = track_time[track]
+        for category in sorted(category_time):
+            flat[f"category_time.{category}"] = category_time[category]
+        return flat
+
+    # -- export ---------------------------------------------------------
+    def _track_ids(self):
+        """Deterministic track -> tid mapping (first-use order)."""
+        tids = {}
+        for record in itertools.chain(self._spans, self._instants,
+                                      self._counters):
+            if record.track not in tids:
+                tids[record.track] = len(tids) + 1
+        return tids
+
+    def to_chrome(self, process_name="hybridNDP-sim"):
+        """The trace as a Chrome ``trace_event`` JSON object.
+
+        Spans become complete (``ph="X"``) events, instants become
+        thread-scoped instant (``ph="i"``) events and counter samples
+        become ``ph="C"`` events; timestamps are microseconds.  The
+        object loads directly in ``ui.perfetto.dev`` or
+        ``chrome://tracing``.
+        """
+        if self._open:
+            names = sorted(record[1] for record in self._open.values())
+            raise ReproError(f"cannot export with open spans: {names}")
+        tids = self._track_ids()
+        events = [{
+            "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+            "args": {"name": process_name},
+        }]
+        for track, tid in tids.items():
+            events.append({"ph": "M", "pid": 1, "tid": tid,
+                           "name": "thread_name", "args": {"name": track}})
+            events.append({"ph": "M", "pid": 1, "tid": tid,
+                           "name": "thread_sort_index",
+                           "args": {"sort_index": tid}})
+        records = []
+        for span in self._spans:
+            args = dict(span.args)
+            args["span_id"] = span.id
+            if span.parent is not None:
+                args["parent_span_id"] = span.parent
+            records.append((span.start, tids[span.track], span.id, {
+                "ph": "X", "pid": 1, "tid": tids[span.track],
+                "ts": span.start * _MICROSECONDS,
+                "dur": span.duration * _MICROSECONDS,
+                "name": span.name, "cat": span.category or "span",
+                "args": args,
+            }))
+        for instant in self._instants:
+            args = dict(instant.args)
+            args["record_id"] = instant.id
+            records.append((instant.time, tids[instant.track], instant.id, {
+                "ph": "i", "pid": 1, "tid": tids[instant.track],
+                "ts": instant.time * _MICROSECONDS, "s": "t",
+                "name": instant.name, "args": args,
+            }))
+        for sample in self._counters:
+            records.append((sample.time, tids[sample.track], sample.id, {
+                "ph": "C", "pid": 1, "tid": tids[sample.track],
+                "ts": sample.time * _MICROSECONDS,
+                "name": sample.name, "args": dict(sample.values),
+            }))
+        records.sort(key=lambda item: (item[0], item[1], item[2]))
+        events.extend(event for _ts, _tid, _rid, event in records)
+        return {"displayTimeUnit": "ms", "traceEvents": events}
+
+    def dumps(self, process_name="hybridNDP-sim"):
+        """Canonical JSON text of :meth:`to_chrome`.
+
+        Sorted keys and compact separators: two identical simulations
+        serialise to byte-identical text.
+        """
+        return json.dumps(self.to_chrome(process_name=process_name),
+                          sort_keys=True, separators=(",", ":"))
+
+    def write(self, path, process_name="hybridNDP-sim"):
+        """Write the canonical Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps(process_name=process_name))
+            handle.write("\n")
+        return path
+
+    def __repr__(self):
+        return (f"Tracer(spans={len(self._spans)}, "
+                f"instants={len(self._instants)}, "
+                f"counters={len(self._counters)}, open={len(self._open)})")

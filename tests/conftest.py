@@ -16,6 +16,27 @@ from repro.storage.flash import FlashDevice
 from repro.workloads.loader import build_environment
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run slow tests (the full 113-query differential suite)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test, skipped unless --runslow is given")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 def small_lsm_config(**overrides):
     """An LSM config that flushes/compacts quickly in tests."""
     defaults = dict(memtable_size=16 * 1024, level_base_bytes=64 * 1024,

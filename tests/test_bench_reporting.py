@@ -1,0 +1,68 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import (format_table, ms, render_family_grid,
+                                   render_matrix_summary)
+from repro.errors import ReproError
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "t"], [["a", 1], ["longer", 22]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert all(len(line) == len(lines[1]) for line in lines[1:]
+                   if line.strip())
+
+    def test_none_rendered_empty(self):
+        text = format_table(["a"], [[None]])
+        assert text.splitlines()[-1].strip() == ""
+
+
+class TestMs:
+    def test_seconds_to_milliseconds(self):
+        assert ms(0.001234) == "1.234"
+        assert ms(0.0) == "0.000"
+
+
+class TestRenderFamilyGrid:
+    def test_grid_layout(self):
+        grid = render_family_grid({"8c": "green", "8a": "red",
+                                   "17b": "yellow"}, legend="g y r")
+        lines = grid.splitlines()
+        assert lines[0].split() == ["8", "17"]
+        assert any(line.strip().startswith("a") and " r" in line
+                   for line in lines)
+        assert any(line.strip().startswith("c") and " g" in line
+                   for line in lines)
+        assert lines[-1] == "  legend: g y r"
+
+    def test_empty_grid(self):
+        assert render_family_grid({}) == "(empty grid)"
+
+    def test_name_without_digits_raises_clear_error(self):
+        # Regression: int("") used to crash with a bare ValueError.
+        with pytest.raises(ReproError, match="no family number"):
+            render_family_grid({"abc": "green"})
+
+    def test_error_names_offending_query(self):
+        with pytest.raises(ReproError, match="'xx'"):
+            render_family_grid({"1a": "green", "xx": "red"})
+
+
+class TestRenderMatrixSummary:
+    def test_summary_lines(self):
+        summary = {"total": 4, "green": 2, "green_pct": 50.0,
+                   "yellow": 1, "yellow_pct": 25.0,
+                   "red": 1, "red_pct": 25.0,
+                   "green_yellow_pct": 75.0,
+                   "full_ndp_best_pct": 0.0, "h0_best_pct": 25.0,
+                   "max_speedup": 2.5}
+        text = render_matrix_summary(summary)
+        assert "queries evaluated:        4" in text
+        assert "(paper: ~47%)" in text
+        assert "2.50x" in text

@@ -1,0 +1,94 @@
+"""Differential correctness: every strategy, every JOB query family.
+
+For each query the host-BLK baseline rows must be bit-identical to the
+host-NVMe (NATIVE) rows, every *feasible* hybrid split H0..H(n-1), and
+full NDP.  A strategy may only be infeasible by raising one of the
+documented infeasibility errors (:class:`DeviceOverloadError` for a
+fragment that exceeds the device join cap, :class:`OffloadError` for an
+operator the device cannot run); anything else — a TypeError, an
+assertion, a bare ``ReproError`` — propagates and fails the test
+loudly.  It must never be swallowed as "infeasible".
+
+The representative subset below runs in tier-1; the remaining queries
+of the full 113-query matrix are marked ``slow`` and run with
+``pytest --runslow``.
+"""
+
+import pytest
+
+from repro.engine.stacks import Stack
+from repro.errors import DeviceOverloadError, OffloadError
+from repro.workloads.job_queries import all_queries, query
+
+#: The only exception types that may mark a strategy infeasible.
+INFEASIBLE = (DeviceOverloadError, OffloadError)
+
+# One variant per structural cluster: small (1, 2, 3, 6), mid (8, 11,
+# 14, 17, 22), and large join graphs (26, 29, 32, 33), indexed and not.
+REPRESENTATIVE = ["1a", "2d", "3b", "6b", "8c", "11a", "14a", "17b",
+                  "22a", "26a", "29a", "32a", "33a"]
+
+SLOW = [name for name in sorted(all_queries())
+        if name not in REPRESENTATIVE]
+
+
+def assert_all_strategies_agree(job_env, name):
+    """Run every strategy for ``name`` and diff rows against host-BLK."""
+    plan = job_env.runner.plan(query(name))
+    baseline = job_env.run(plan, Stack.BLK).result.sorted_rows()
+
+    native = job_env.run(plan, Stack.NATIVE)
+    assert native.result.sorted_rows() == baseline, f"{name}: host-nvme"
+
+    feasible = ["host-blk", "host-nvme"]
+    for split in range(plan.table_count):
+        try:
+            hybrid = job_env.run(plan, Stack.HYBRID, split_index=split)
+        except INFEASIBLE:
+            continue
+        feasible.append(f"H{split}")
+        assert hybrid.result.sorted_rows() == baseline, f"{name}: H{split}"
+
+    try:
+        ndp = job_env.run(plan, Stack.NDP)
+    except INFEASIBLE:
+        pass
+    else:
+        feasible.append("full-ndp")
+        assert ndp.result.sorted_rows() == baseline, f"{name}: full-ndp"
+
+    # H0 offloads a single scan; it must always fit on the device.
+    assert "H0" in feasible, f"{name}: no feasible hybrid split"
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+def test_differential_representative(job_env, name):
+    assert_all_strategies_agree(job_env, name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_differential_full_matrix(job_env, name):
+    assert_all_strategies_agree(job_env, name)
+
+
+def test_representative_names_exist():
+    known = set(all_queries())
+    missing = [name for name in REPRESENTATIVE if name not in known]
+    assert not missing, missing
+
+
+def test_full_matrix_is_covered():
+    assert len(REPRESENTATIVE) + len(SLOW) == len(all_queries()) == 113
+
+
+def test_undocumented_errors_fail_loudly(job_env, monkeypatch):
+    """A programming error in a strategy must not look infeasible."""
+    runner = job_env.runner
+
+    def explode(plan, split_index, tracer=None):
+        raise TypeError("programming error")
+
+    monkeypatch.setattr(runner._cooperative, "run_split", explode)
+    with pytest.raises(TypeError):
+        assert_all_strategies_agree(job_env, "1a")

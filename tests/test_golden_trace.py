@@ -1,0 +1,49 @@
+"""Golden-trace regression: byte-for-byte trace reproduction.
+
+The committed fixture is the canonical Perfetto trace of JOB query 1a
+at split H0 against the session environment (scale 0.0004, seed 7).
+Tracing is deterministic — stable span ids, canonical JSON — so the
+exported bytes must match exactly.  If an intentional change to the
+timing model or the tracer alters the trace, regenerate the fixture:
+
+    PYTHONPATH=src python -c "
+    from repro.engine.stacks import Stack
+    from repro.sim import Tracer
+    from repro.workloads.job_queries import query
+    from repro.workloads.loader import build_environment
+    env = build_environment(scale=0.0004, seed=7)
+    tracer = Tracer()
+    env.run(query('1a'), Stack.HYBRID, split_index=0, tracer=tracer)
+    tracer.write('tests/golden/trace_1a_h0.json')"
+
+and explain the timing change in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+from repro.engine.stacks import Stack
+from repro.sim import Tracer
+from repro.workloads.job_queries import query
+
+GOLDEN = Path(__file__).parent / "golden" / "trace_1a_h0.json"
+
+
+def export_trace(job_env):
+    tracer = Tracer()
+    job_env.run(query("1a"), Stack.HYBRID, split_index=0, tracer=tracer)
+    return tracer.dumps() + "\n"
+
+
+def test_trace_reproduces_golden_bytes(job_env):
+    assert export_trace(job_env) == GOLDEN.read_text()
+
+
+def test_golden_fixture_is_valid_chrome_trace():
+    payload = json.loads(GOLDEN.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    events = payload["traceEvents"]
+    assert {e["ph"] for e in events} >= {"M", "X", "i"}
+    (root,) = [e for e in events
+               if e["ph"] == "X" and e.get("cat") == "execution"]
+    assert root["name"] == "H0"

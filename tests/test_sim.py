@@ -1,9 +1,11 @@
 """Tests for the simulated-time kernel (clock, events, resources)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ReproError, ResourceError
-from repro.sim import BusyResource, EventLoop, SimClock
+from repro.sim import BusyResource, EventLoop, SimClock, Tracer
 
 
 class TestSimClock:
@@ -169,3 +171,90 @@ class TestBusyResource:
         resource.reset()
         assert resource.free_at == 0.0
         assert resource.busy_time == 0.0
+
+
+# Bounded, finite floats: wide enough to exercise queueing and idle
+# gaps, narrow enough that float rounding stays far from the 1e-9
+# utilization tolerance.
+_starts = st.floats(min_value=0.0, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+_durations = st.floats(min_value=0.0, max_value=1e3,
+                       allow_nan=False, allow_infinity=False)
+_workloads = st.lists(st.tuples(_starts, _durations),
+                      min_size=1, max_size=30)
+
+
+class TestBusyResourceProperties:
+    @given(workload=_workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_busy_intervals_never_overlap(self, workload):
+        tracer = Tracer()
+        resource = BusyResource("res", tracer=tracer)
+        for start, duration in workload:
+            begin, end = resource.acquire(start, duration)
+            assert begin >= start
+            assert end == begin + duration
+        busy = [s for s in tracer.spans if s.track == "resource/res"]
+        assert len(busy) == len(workload)
+        for a, b in zip(busy, busy[1:]):
+            assert b.start >= a.end
+
+    @given(workload=_workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_never_exceeds_one(self, workload):
+        resource = BusyResource("res")
+        for start, duration in workload:
+            resource.acquire(start, duration)
+        horizon = resource.free_at
+        # Must not raise ResourceError: disjoint busy intervals inside
+        # [0, horizon] can never oversubscribe the horizon.
+        assert resource.utilization(horizon) <= 1.0 + 1e-9
+
+    @given(workload=_workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_matches_requests(self, workload):
+        tracer = Tracer()
+        resource = BusyResource("res", tracer=tracer)
+        waits = 0.0
+        for start, duration in workload:
+            begin, _ = resource.acquire(start, duration)
+            waits += begin - start
+        assert resource.busy_time == pytest.approx(
+            sum(duration for _, duration in workload))
+        assert resource.wait_time == pytest.approx(waits)
+        queue = [s for s in tracer.spans
+                 if s.track == "resource/res/queue"]
+        assert sum(s.duration for s in queue) == pytest.approx(waits)
+
+
+class TestEventLoopProperties:
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                    allow_nan=False,
+                                    allow_infinity=False),
+                          min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_drain_order_is_stable_sort_by_time(self, times):
+        """Same-timestamp events fire in insertion order, so the drain
+        order is exactly a stable sort regardless of schedule order."""
+        loop = EventLoop(SimClock())
+        fired = []
+        for index, time in enumerate(times):
+            loop.schedule_at(time, lambda i=index: fired.append(i))
+        loop.run()
+        expected = [index for index, _ in
+                    sorted(enumerate(times), key=lambda item: item[1])]
+        assert fired == expected
+
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                    allow_nan=False,
+                                    allow_infinity=False),
+                          min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_clock_ends_at_latest_event(self, times):
+        clock = SimClock()
+        loop = EventLoop(clock)
+        for time in times:
+            loop.schedule_at(time, lambda: None)
+        loop.run()
+        assert clock.now == max(times)
+        assert loop.fired == len(times)

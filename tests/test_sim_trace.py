@@ -1,0 +1,178 @@
+"""Unit tests for the tracing layer (repro.sim.trace)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import (NULL_TRACER, BusyResource, EventLoop, NullTracer,
+                       SimClock, Tracer, as_tracer)
+
+
+class TestTracerRecords:
+    def test_span_ids_are_stable_and_increasing(self):
+        tracer = Tracer()
+        first = tracer.span("t", "a", 0.0, 1.0)
+        second = tracer.span("t", "b", 1.0, 2.0)
+        assert first == 1 and second == 2
+        assert [s.id for s in tracer.spans] == [1, 2]
+
+    def test_span_fields(self):
+        tracer = Tracer()
+        tracer.span("host/compute", "batch 0", 1.0, 3.5,
+                    category="compute", args={"placement": "HOST"})
+        (span,) = tracer.spans
+        assert span.track == "host/compute"
+        assert span.name == "batch 0"
+        assert span.category == "compute"
+        assert span.duration == pytest.approx(2.5)
+        assert span.args == {"placement": "HOST"}
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ReproError):
+            Tracer().span("t", "bad", 2.0, 1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ReproError):
+            Tracer().span("t", "bad", -1.0, 1.0)
+
+    def test_begin_end_open_span(self):
+        tracer = Tracer()
+        root = tracer.begin("exec", "H2", 0.0, category="execution")
+        child = tracer.span("host/compute", "a", 0.0, 1.0, parent=root)
+        tracer.end(root, 5.0)
+        by_id = {span.id: span for span in tracer.spans}
+        assert by_id[root].end == 5.0
+        assert by_id[child].parent == root
+
+    def test_end_unknown_span_rejected(self):
+        with pytest.raises(ReproError):
+            Tracer().end(42, 1.0)
+
+    def test_export_with_open_span_rejected(self):
+        tracer = Tracer()
+        tracer.begin("exec", "dangling", 0.0)
+        with pytest.raises(ReproError):
+            tracer.to_chrome()
+
+    def test_instants_and_counters(self):
+        tracer = Tracer()
+        tracer.instant("events", "fire", 1.0, args={"seq": 3})
+        tracer.counter("host", "work", 2.0, {"rows": 7})
+        assert tracer.instants[0].time == 1.0
+        assert tracer.counter_records[0].values == {"rows": 7}
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        null = NullTracer()
+        assert null.enabled is False
+        assert null.span("t", "a", 0.0, 1.0) == 0
+        assert null.begin("t", "a", 0.0) == 0
+        null.end(0, 1.0)
+        assert null.instant("t", "a", 0.0) == 0
+        assert null.counter("t", "a", 0.0, {}) == 0
+        assert null.metrics() == {}
+
+    def test_as_tracer_normalisation(self):
+        assert as_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert as_tracer(tracer) is tracer
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = Tracer()
+        root = tracer.begin("exec", "H1", 0.0, category="execution")
+        tracer.span("host/compute", "batch 0", 0.5, 1.5,
+                    category="compute", parent=root)
+        tracer.instant("events", "ready", 0.5)
+        tracer.counter("host", "rows", 1.5, {"rows": 10})
+        tracer.end(root, 2.0)
+        return tracer
+
+    def test_structure(self):
+        payload = self._traced().to_chrome()
+        assert set(payload) == {"displayTimeUnit", "traceEvents"}
+        events = payload["traceEvents"]
+        phases = sorted({event["ph"] for event in events})
+        assert phases == ["C", "M", "X", "i"]
+        for event in events:
+            assert {"ph", "pid", "name"} <= set(event)
+
+    def test_timestamps_are_microseconds(self):
+        payload = self._traced().to_chrome()
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        batch = next(e for e in complete if e["name"] == "batch 0")
+        assert batch["ts"] == pytest.approx(0.5e6)
+        assert batch["dur"] == pytest.approx(1.0e6)
+
+    def test_thread_metadata_per_track(self):
+        payload = self._traced().to_chrome()
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {"exec", "host/compute", "events", "host"}
+
+    def test_parent_ids_exported(self):
+        payload = self._traced().to_chrome()
+        complete = {e["name"]: e for e in payload["traceEvents"]
+                    if e["ph"] == "X"}
+        root_id = complete["H1"]["args"]["span_id"]
+        assert complete["batch 0"]["args"]["parent_span_id"] == root_id
+
+    def test_dumps_is_canonical_and_loads(self):
+        text = self._traced().dumps()
+        assert json.loads(text)
+        assert self._traced().dumps() == text
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._traced().write(path)
+        assert json.loads(path.read_text()) == self._traced().to_chrome()
+
+
+class TestMetrics:
+    def test_flat_metrics(self):
+        tracer = Tracer()
+        tracer.span("host/compute", "a", 0.0, 1.0, category="compute")
+        tracer.span("host/compute", "b", 1.0, 3.0, category="compute")
+        tracer.span("resource/pcie_link", "x", 0.0, 0.5, category="busy")
+        tracer.instant("events", "e", 0.0)
+        metrics = tracer.metrics()
+        assert metrics["spans"] == 3
+        assert metrics["instants"] == 1
+        assert metrics["span_time.host/compute"] == pytest.approx(3.0)
+        assert metrics["category_time.busy"] == pytest.approx(0.5)
+
+
+class TestKernelIntegration:
+    def test_busy_resource_emits_busy_and_queue_spans(self):
+        tracer = Tracer()
+        resource = BusyResource("pcie_link", tracer=tracer)
+        resource.acquire(0.0, 2.0, label="push 0")
+        resource.acquire(1.0, 1.0, label="fetch 0")
+        busy = [s for s in tracer.spans if s.category == "busy"]
+        queue = [s for s in tracer.spans if s.category == "queue"]
+        assert [(s.start, s.end) for s in busy] == [(0.0, 2.0), (2.0, 3.0)]
+        assert [(s.start, s.end) for s in queue] == [(1.0, 2.0)]
+        assert busy[0].track == "resource/pcie_link"
+        assert queue[0].track == "resource/pcie_link/queue"
+        assert queue[0].args["wait"] == pytest.approx(1.0)
+
+    def test_event_loop_emits_instants(self):
+        tracer = Tracer()
+        loop = EventLoop(SimClock(), tracer=tracer)
+        loop.schedule_at(1.0, lambda: None, label="tick")
+        loop.schedule_at(2.0, lambda: None)
+        loop.run()
+        assert [(i.name, i.time) for i in tracer.instants] == [
+            ("tick", 1.0), ("event", 2.0)]
+
+    def test_untraced_kernel_records_nothing(self):
+        resource = BusyResource("core")
+        assert resource.tracer is NULL_TRACER
+        resource.acquire(0.0, 1.0)
+        loop = EventLoop(SimClock())
+        loop.schedule_at(0.0, lambda: None)
+        loop.run()
+        assert loop.tracer is NULL_TRACER
