@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Run JOB queries under every chaos scenario and check graceful degradation.
+
+    python scripts/chaos_job_matrix.py [--scale S] [--seed N] \\
+        [--fault-seed N] [--queries 1a 8c ...] [--scenario NAME ...] \\
+        [--trace-dir DIR] [--output out.json]
+
+For each (query, scenario) cell the harness runs the query fault-free on
+the host, fault-free hybrid, and hybrid under the scenario's seeded
+:class:`FaultPlan`, then asserts the degraded run returned exactly the
+baseline rows within a bounded slowdown.  Exits non-zero if any cell
+returned wrong rows or blew the slowdown bound, so CI can gate on it.
+``--trace-dir`` writes one fault-annotated Perfetto trace per cell.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.chaos import SCENARIOS, chaos_matrix
+from repro.workloads.loader import build_environment
+
+DEFAULT_QUERIES = ["1a", "2d", "6b", "8c", "17b", "32a"]
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="JOB chaos matrix: fault injection + degradation checks")
+    parser.add_argument("--scale", type=float, default=0.0002,
+                        help="dataset scale factor (default 0.0002)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="dataset seed (default 7)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="fault-plan seed (default 0)")
+    parser.add_argument("--queries", nargs="*", default=DEFAULT_QUERIES,
+                        help=f"JOB queries (default {DEFAULT_QUERIES})")
+    parser.add_argument("--scenario", dest="scenarios", action="append",
+                        default=None,
+                        help="run only this scenario (repeatable; "
+                             f"known: {', '.join(sorted(SCENARIOS))})")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk workload cache directory")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write one fault-annotated Perfetto trace "
+                             "per (query, scenario) into this directory")
+    parser.add_argument("--output", default="chaos_job_matrix.json",
+                        help="output JSON path")
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+
+    start = time.time()
+    env = build_environment(scale=args.scale, seed=args.seed,
+                            workload_cache_dir=args.cache_dir)
+    print(f"environment: scale={args.scale}, {env.total_rows:,} rows "
+          f"({time.time() - start:.0f}s)", flush=True)
+
+    def on_result(summary):
+        verdict = "ok" if summary["ok"] else "FAIL"
+        print(f"{summary['query']:>4} {summary['scenario']:<20} "
+              f"{summary['strategy']:<20} retries={summary['retries']} "
+              f"faulted={summary['faulted_time'] * 1e3:8.2f} ms "
+              f"host={summary['baseline_time'] * 1e3:8.2f} ms  {verdict}",
+              flush=True)
+
+    matrix = chaos_matrix(env, args.queries, scenarios=args.scenarios,
+                          seed=args.fault_seed, trace_dir=args.trace_dir,
+                          on_result=on_result)
+
+    cells = [summary for row in matrix.values() for summary in row.values()]
+    failures = [summary for summary in cells if not summary["ok"]]
+    with open(args.output, "w") as handle:
+        json.dump({"scale": args.scale, "seed": args.seed,
+                   "fault_seed": args.fault_seed, "matrix": matrix,
+                   "cells": len(cells), "failures": len(failures)},
+                  handle, indent=1)
+
+    print(f"\n{len(cells)} chaos cells, {len(failures)} failure(s); "
+          f"total {time.time() - start:.0f}s; results in {args.output}")
+    for summary in failures:
+        print(f"  FAIL {summary['query']}/{summary['scenario']}: "
+              f"rows_match={summary['rows_match']} "
+              f"bounded={summary['bounded']}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from repro.engine import (CooperativeExecutor, ExecutionReport, HostEngine,
                           NDPEngine, QueryResult, Stack, StackRunner,
                           TimingModel)
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.lsm import KVDatabase, LSMTree
 from repro.relational import Catalog, TableSchema
 from repro.storage import (COSMOS_PLUS, HOST_I5, FlashDevice,
@@ -48,6 +49,8 @@ __all__ = [
     "TimingModel",
     "ExecutionReport",
     "QueryResult",
+    # resilience
+    "FaultPlan",
     # substrates
     "KVDatabase",
     "LSMTree",

@@ -5,6 +5,7 @@
     python -m repro decide 17b                # the planner's choice
     python -m repro sweep 8c                  # Fig-16-style split sweep
     python -m repro trace 8c --strategy split:best --out 8c.json
+    python -m repro chaos 8c --seed 5         # fault-injection scenarios
     python -m repro experiment fig11          # a paper experiment
     python -m repro list-queries              # the JOB suite
 
@@ -142,6 +143,35 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_chaos(args):
+    from repro.bench.chaos import SCENARIOS, chaos_matrix
+    env = _build_env(args)
+    scenarios = args.scenarios or sorted(SCENARIOS)
+    rows = []
+    failures = 0
+    for scenario_row in chaos_matrix(
+            env, [args.query], scenarios=scenarios, seed=args.fault_seed,
+            trace_dir=args.trace_dir).values():
+        for summary in scenario_row.values():
+            failures += 0 if summary["ok"] else 1
+            rows.append([
+                summary["scenario"], summary["strategy"],
+                "yes" if summary["rows_match"] else "NO",
+                summary["retries"],
+                ms(summary["faulted_time"]),
+                ms(summary["baseline_time"]),
+                ", ".join(f"{kind}={count}" for kind, count
+                          in summary["faults_injected"].items()) or "-",
+            ])
+    print(format_table(
+        ["scenario", "strategy", "rows ok", "retries", "faulted [ms]",
+         "host [ms]", "faults injected"], rows,
+        title=f"Q{args.query} chaos matrix (fault seed {args.fault_seed})"))
+    if args.trace_dir:
+        print(f"fault-annotated traces written to {args.trace_dir}/")
+    return 1 if failures else 0
+
+
 def cmd_experiment(args):
     env = _build_env(args)
     result = _EXPERIMENTS[args.name](env)
@@ -199,6 +229,20 @@ def build_parser():
     trace.add_argument("--out", default=None,
                        help="output path (default <query>-<strategy>.json)")
     trace.set_defaults(func=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="run one query under the fault-injection scenarios")
+    chaos.add_argument("query")
+    chaos.add_argument("--seed", dest="fault_seed", type=int, default=0,
+                       help="fault-plan seed (the dataset seed is the "
+                            "global --seed)")
+    chaos.add_argument("--scenario", dest="scenarios", action="append",
+                       default=None,
+                       help="run only this scenario (repeatable)")
+    chaos.add_argument("--trace-dir", default=None,
+                       help="write one fault-annotated Perfetto trace "
+                            "per scenario into this directory")
+    chaos.set_defaults(func=cmd_chaos)
 
     experiment = sub.add_parser("experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -5,6 +5,8 @@ evaluation (§5) and returns plain data structures; ``reporting`` renders
 them as the paper-style tables the benchmarks print.
 """
 
+from repro.bench.chaos import (SCENARIOS, chaos_matrix, run_chaos,
+                               scenario_plan)
 from repro.bench.experiments import (
     classify_matrix,
     exp_intro_fig2,
@@ -27,6 +29,10 @@ __all__ = [
     "default_workers",
     "strategy_times",
     "sweep_job_matrix",
+    "SCENARIOS",
+    "scenario_plan",
+    "run_chaos",
+    "chaos_matrix",
     "exp_intro_fig2",
     "exp1_stacks_fig11",
     "exp1_table3",

@@ -1,0 +1,173 @@
+"""Chaos harness: JOB queries under deterministic fault scenarios.
+
+Each named scenario is a seeded :class:`~repro.faults.FaultPlan` probing
+one degradation path — transient command NACKs that retry, a command
+storm that exhausts the retries and forces the mid-query host fallback,
+flash ECC-retry latency, PCIe lane down-shifts, device DRAM pressure
+(admission control waits), and NDP-core brownouts (device stalls).
+
+A chaos run executes the query three times: fault-free on the host
+(the correctness baseline), fault-free hybrid at the chosen split (the
+timing reference), and hybrid under the scenario's plan.  It then checks
+the paper-level robustness contract: the degraded run returns *exactly*
+the baseline rows, within a bounded slowdown — graceful degradation,
+never wrong answers.  Everything is seeded, so a chaos matrix is
+byte-for-byte reproducible.
+"""
+
+import os
+
+from repro.engine.stacks import Stack
+from repro.errors import ReproError
+from repro.faults import (CommandFaultModel, CoreFaultModel, DramFaultModel,
+                          FaultPlan, FaultWindow, FlashFaultModel,
+                          LinkFaultModel)
+from repro.sim import Tracer
+from repro.workloads.job_queries import query
+
+#: Degraded runs must finish within ``LIMIT * reference + SLACK`` seconds,
+#: where the reference is the slower of the fault-free host baseline and
+#: the fault-free hybrid run.  The factor is deliberately loose — chaos
+#: verifies *bounded* degradation, not performance.
+SLOWDOWN_LIMIT = 10.0
+SLOWDOWN_SLACK = 0.25
+
+#: {scenario name: one-line description} — the chaos catalogue.
+SCENARIOS = {
+    "transient-commands": ("first two NDP command submissions NACKed; "
+                           "retries with backoff succeed"),
+    "command-storm": ("every submission NACKed; retries exhaust and the "
+                      "query falls back to host-only execution"),
+    "flash-ecc": "flash read pages need ECC retries (latency only)",
+    "link-degraded": "PCIe lane down-shift window; transfers run 4x slower",
+    "dram-pressure": ("device DRAM pressure at t=0; admission control "
+                      "waits for the window instead of overloading"),
+    "core-brownout": "NDP core unavailability windows; device stalls",
+    "perfect-storm": "all fault models at once, mildly",
+}
+
+
+def scenario_plan(name, seed=0):
+    """The seeded :class:`FaultPlan` for a named chaos scenario."""
+    if name == "transient-commands":
+        return FaultPlan(seed=seed,
+                         commands=CommandFaultModel(fail_first=2))
+    if name == "command-storm":
+        # More deterministic failures than the policy has attempts
+        # (1 + max_retries), so the offload always abandons.
+        return FaultPlan(seed=seed,
+                         commands=CommandFaultModel(fail_first=8))
+    if name == "flash-ecc":
+        # High per-page probability so the scenario still injects on the
+        # tiny CI scales, where reads are only a handful of pages.
+        return FaultPlan(seed=seed,
+                         flash=FlashFaultModel(probability=0.5))
+    if name == "link-degraded":
+        return FaultPlan(seed=seed,
+                         link=LinkFaultModel(
+                             windows=(FaultWindow(0.0, 0.005),),
+                             slowdown=4.0))
+    if name == "dram-pressure":
+        # Shrink past any budget for 1 ms: admission always waits the
+        # full window, comfortably inside the 50 ms admission timeout.
+        return FaultPlan(seed=seed,
+                         dram=DramFaultModel(
+                             windows=(FaultWindow(0.0, 0.001),),
+                             shrink_bytes=1 << 40))
+    if name == "core-brownout":
+        return FaultPlan(seed=seed,
+                         core=CoreFaultModel(
+                             windows=(FaultWindow(0.0, 0.002),
+                                      FaultWindow(0.004, 0.005))))
+    if name == "perfect-storm":
+        return FaultPlan(
+            seed=seed,
+            commands=CommandFaultModel(fail_first=1),
+            flash=FlashFaultModel(probability=0.01),
+            link=LinkFaultModel(windows=(FaultWindow(0.0, 0.002),),
+                                slowdown=2.0),
+            core=CoreFaultModel(windows=(FaultWindow(0.001, 0.002),)),
+        )
+    raise ReproError(
+        f"unknown chaos scenario {name!r}; "
+        f"known: {', '.join(sorted(SCENARIOS))}")
+
+
+def default_split(runner, plan):
+    """The split point chaos runs degrade: the deepest offloadable Hk
+    at or below the middle of the pipeline."""
+    k = plan.table_count // 2
+    while k > 0 and not runner.ndp_engine.can_offload(plan.prefix(k)):
+        k -= 1
+    return k
+
+
+def run_chaos(env, query_name, scenario, seed=0, tracer=None):
+    """Run one JOB query under one chaos scenario.
+
+    Returns a plain summary dict: the three run times, the split point,
+    whether the degraded rows match the fault-free host baseline
+    (``rows_match``), whether the slowdown stayed bounded (``bounded``),
+    and the degraded report's resilience fields.
+    """
+    plan = env.runner.plan(query(query_name))
+    split = default_split(env.runner, plan)
+    baseline = env.run(plan, Stack.NATIVE)
+    reference = env.run(plan, Stack.HYBRID, split_index=split)
+    faults = scenario_plan(scenario, seed=seed)
+    faulted = env.run(plan, Stack.HYBRID, split_index=split,
+                      tracer=tracer, faults=faults)
+
+    rows_match = (faulted.result.sorted_rows()
+                  == baseline.result.sorted_rows())
+    bound = (SLOWDOWN_LIMIT * max(baseline.total_time, reference.total_time)
+             + SLOWDOWN_SLACK)
+    return {
+        "query": query_name,
+        "scenario": scenario,
+        "seed": seed,
+        "split_index": split,
+        "strategy": faulted.strategy,
+        "rows": len(faulted.result),
+        "rows_match": rows_match,
+        "bounded": faulted.total_time <= bound,
+        "ok": rows_match and faulted.total_time <= bound,
+        "baseline_time": baseline.total_time,
+        "reference_time": reference.total_time,
+        "faulted_time": faulted.total_time,
+        "fallback_from": faulted.fallback_from,
+        "retries": faulted.retries,
+        "faults_injected": dict(faulted.faults_injected),
+        "wasted_device_time": faulted.wasted_device_time,
+        "admission_wait_time": faulted.admission_wait_time,
+    }
+
+
+def chaos_matrix(env, query_names, scenarios=None, seed=0, trace_dir=None,
+                 on_result=None):
+    """``{query: {scenario: summary}}`` over a query/scenario grid.
+
+    Queries and scenarios run in sorted order, so two matrices with the
+    same environment and seed serialize to identical JSON.  With
+    ``trace_dir`` set each degraded run is traced and written as
+    ``<trace_dir>/<query>-<scenario>.json`` (fault instants included).
+    ``on_result(summary)`` fires as each cell completes.
+    """
+    names = sorted(scenarios) if scenarios else sorted(SCENARIOS)
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+    matrix = {}
+    for query_name in sorted(query_names):
+        row = {}
+        for scenario in names:
+            tracer = Tracer() if trace_dir else None
+            summary = run_chaos(env, query_name, scenario, seed=seed,
+                                tracer=tracer)
+            if trace_dir:
+                tracer.write(os.path.join(
+                    trace_dir, f"{query_name}-{scenario}.json"))
+            row[scenario] = summary
+            if on_result is not None:
+                on_result(summary)
+        matrix[query_name] = row
+    return matrix

@@ -22,7 +22,9 @@ import math
 from repro.engine.counters import WorkCounters
 from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
 from repro.engine.timing import ExecutionLocation
-from repro.errors import PlanError
+from repro.errors import (PlanError, RetriesExhaustedError,
+                          TransientDeviceError)
+from repro.faults import FAULTS_TRACK, NULL_INJECTOR, as_injector
 from repro.query.ast import conjuncts
 from repro.sim import BusyResource, EventLoop, SimClock, as_tracer
 
@@ -56,7 +58,8 @@ class _SplitSimulation:
 
     def __init__(self, executor, timing, plan, batches, per_batch_device,
                  row_bytes, slots, setup_time, session, host_counters,
-                 tracer=None, strategy_label="split"):
+                 tracer=None, strategy_label="split", injector=None,
+                 start_offset=0.0):
         self.executor = executor
         self.timing = timing
         self.plan = plan
@@ -71,6 +74,8 @@ class _SplitSimulation:
         self.tracer = as_tracer(tracer)
         self.strategy_label = strategy_label
         self.root_span = None
+        self.injector = injector or NULL_INJECTOR
+        self.start_offset = start_offset   # admission-control wait
 
         self.clock = SimClock()
         self.loop = EventLoop(self.clock, tracer=self.tracer)
@@ -92,6 +97,8 @@ class _SplitSimulation:
         self.transfer_total = 0.0
         self.host_processing = 0.0
         self.host_end = 0.0
+        self.retries = 0          # failed NDP command submissions
+        self.wasted_time = 0.0    # failed-attempt link time + backoffs
 
     # -- helpers -------------------------------------------------------
     def _phase(self, actor, kind, start, end, label, resource="",
@@ -135,16 +142,77 @@ class _SplitSimulation:
         return total
 
     def _begin(self):
+        offset = self.start_offset
+        if offset > 0.0:
+            # Admission control waited for a DRAM-pressure window to
+            # pass instead of raising DeviceOverloadError outright.
+            self.host_wait_initial += offset
+            self._phase("host", "wait", 0.0, offset,
+                        "buffer admission wait", operator="admission-wait")
+        self._submit(0, offset)
+
+    def _submit(self, attempt, at):
         # The host assembles the NDP command and pushes its payload over
         # the link; the device cannot start before the command arrived.
-        begin, end = self.link.acquire(0.0, self.setup_time,
+        # Submission may fail transiently (fault injection): each failed
+        # attempt still crossed the link, then backs off exponentially in
+        # simulated time before retrying, bounded by the retry policy.
+        setup = self.setup_time
+        if self.injector.enabled:
+            setup = self.injector.scale_transfer(at, setup)
+        begin, end = self.link.acquire(at, setup,
                                        label="NDP command payload")
+        if self.injector.enabled:
+            try:
+                self.injector.check_submission(attempt)
+            except TransientDeviceError:
+                self._submission_failed(attempt, begin, end)
+                return
         self._phase("host", "setup", begin, end, "NDP command",
                     resource=LINK_RESOURCE, operator="ndp-command")
         self.loop.schedule_at(end, lambda: self._device_next(0),
                               label="device start")
         self.loop.schedule_at(end, lambda: self._host_want(0),
                               label="host start")
+
+    def _submission_failed(self, attempt, begin, end):
+        self.retries += 1
+        self.wasted_time += end - begin
+        self._phase("host", "setup", begin, end,
+                    f"NDP command (attempt {attempt + 1}: transient "
+                    f"failure)", resource=LINK_RESOURCE,
+                    operator="ndp-command")
+        if self.tracer.enabled:
+            self.tracer.instant(FAULTS_TRACK, "transient-command-failure",
+                                end, args={"attempt": attempt + 1,
+                                           "strategy": self.strategy_label})
+        policy = self.injector.retry
+        if attempt >= policy.max_retries:
+            self._abandon(end)
+        backoff = policy.backoff(attempt)
+        self.wasted_time += backoff
+        self.host_wait_initial += backoff
+        self._phase("host", "wait", end, end + backoff,
+                    f"retry backoff {attempt + 1}", operator="retry-backoff")
+        self.loop.schedule_at(end + backoff,
+                              lambda: self._submit(attempt + 1, end + backoff),
+                              label=f"resubmit attempt {attempt + 2}")
+
+    def _abandon(self, now):
+        """Give up on the offload: close the trace and raise."""
+        if self.tracer.enabled:
+            self.tracer.instant(FAULTS_TRACK, "retries-exhausted", now,
+                                args={"attempts": self.retries,
+                                      "strategy": self.strategy_label})
+        if self.root_span is not None:
+            self.tracer.end(self.root_span, now)
+            self.root_span = None
+        raise RetriesExhaustedError(
+            f"{self.strategy_label}: NDP command submission failed "
+            f"{self.retries} time(s), retries exhausted",
+            strategy=self.strategy_label, retries=self.retries,
+            wasted_time=now,
+            faults_injected=self.injector.faults_injected())
 
     # -- device process ------------------------------------------------
     def _device_next(self, i):
@@ -159,6 +227,20 @@ class _SplitSimulation:
 
     def _device_produce(self, i):
         now = self.clock.now
+        if self.injector.enabled:
+            online = self.injector.core_offline_until(now)
+            if online > now:
+                # The NDP core is in an unavailability window: the lost
+                # time is a device stall, and production resumes when
+                # the core comes back.
+                self.device_stall += online - now
+                self._phase("device", "stall", now, online,
+                            f"NDP core offline before batch {i}",
+                            operator="stall")
+                self.loop.schedule_at(online,
+                                      lambda: self._device_produce(i),
+                                      label=f"core online for batch {i}")
+                return
         begin, end = self.core.acquire(now, self.per_batch_device,
                                        label=f"produce batch {i}")
         self._phase("device", "compute", begin, end,
@@ -174,6 +256,8 @@ class _SplitSimulation:
         batch = self.batches[i]
         if batch:
             push = self.timing.transfer_time(len(batch) * self.row_bytes)
+            if self.injector.enabled:
+                push = self.injector.scale_transfer(now, push)
             begin, end = self.link.acquire(now, push,
                                            label=f"push batch {i}")
             if begin > now:
@@ -220,6 +304,8 @@ class _SplitSimulation:
         now = self.clock.now
         if self.batches[i]:
             fetch = self.timing.fetch_command_time()
+            if self.injector.enabled:
+                fetch = self.injector.scale_transfer(now, fetch)
             begin, end = self.link.acquire(now, fetch,
                                            label=f"fetch batch {i}")
             # A device push may occupy the link: the host keeps waiting.
@@ -345,13 +431,19 @@ class CooperativeExecutor:
     # ------------------------------------------------------------------
     # Hybrid split execution
     # ------------------------------------------------------------------
-    def run_split(self, plan, split_index, tracer=None):
+    def run_split(self, plan, split_index, tracer=None, faults=None):
         """Execute the plan with split point ``H{split_index}``.
 
         ``tracer`` (a :class:`~repro.sim.Tracer`) records the run as
-        structured spans; when omitted tracing is a no-op.
+        structured spans; when omitted tracing is a no-op.  ``faults``
+        (a :class:`~repro.faults.FaultPlan` or an active injector)
+        degrades the run — transient submission failures retry with
+        backoff in simulated time, and exhausting the retries raises
+        :class:`~repro.errors.RetriesExhaustedError` for the caller's
+        host fallback.
         """
         tracer = as_tracer(tracer)
+        injector = as_injector(faults)
         if not 0 <= split_index < plan.table_count:
             raise PlanError(
                 f"split index {split_index} out of range for "
@@ -361,10 +453,24 @@ class CooperativeExecutor:
         device_aliases = [entry.alias for entry in device_entries]
         device_residual, host_residual = self._split_residual(
             plan, device_aliases)
+        with injector.attached(self.ndp.device):
+            return self._run_split_attached(
+                plan, split_index, tracer, injector, device_entries,
+                host_entries, device_aliases, device_residual,
+                host_residual)
 
+    def _run_split_attached(self, plan, split_index, tracer, injector,
+                            device_entries, host_entries, device_aliases,
+                            device_residual, host_residual):
         # --- device fragment -----------------------------------------
         command = self.ndp.prepare_command(plan, device_entries,
                                            device_residual)
+        admission_wait = 0.0
+        if injector.enabled:
+            needed = self.ndp.device.pipeline_cost_bytes(
+                *command.pipeline_shape())
+            admission_wait = injector.admission_delay(
+                needed, self.ndp.device.available_bytes)
         execution = self.ndp.execute(command)
         try:
             device_time, device_breakdown = self.timing.charge(
@@ -392,12 +498,13 @@ class CooperativeExecutor:
             sim = _SplitSimulation(
                 self, self.timing, plan, batches, per_batch_device,
                 row_bytes, slots, setup_time, session, host_counters,
-                tracer=tracer, strategy_label=f"H{split_index}")
+                tracer=tracer, strategy_label=f"H{split_index}",
+                injector=injector, start_offset=admission_wait)
             total = sim.run()
             _final_time, host_breakdown = self.timing.charge(
                 host_counters, ExecutionLocation.HOST)
 
-            return ExecutionReport(
+            report = ExecutionReport(
                 strategy=f"H{split_index}",
                 total_time=total,
                 result=sim.result,
@@ -423,23 +530,40 @@ class CooperativeExecutor:
                        "device_aliases": device_aliases,
                        "device_stage_rows": execution.stage_trace},
             )
+            if injector.enabled:
+                report.retries = sim.retries
+                report.faults_injected = injector.faults_injected()
+                report.wasted_device_time = sim.wasted_time
+                report.admission_wait_time = admission_wait
+            return report
         finally:
             self.ndp.release(execution)
 
     # ------------------------------------------------------------------
     # Full NDP execution
     # ------------------------------------------------------------------
-    def run_full_ndp(self, plan, tracer=None):
+    def run_full_ndp(self, plan, tracer=None, faults=None):
         """Execute the whole QEP on the device (aggregation included).
 
-        ``tracer`` records the run as structured spans like
-        :meth:`run_split`.
+        ``tracer`` records the run as structured spans and ``faults``
+        degrades the run, both like :meth:`run_split`.
         """
         tracer = as_tracer(tracer)
+        injector = as_injector(faults)
+        with injector.attached(self.ndp.device):
+            return self._run_full_ndp_attached(plan, tracer, injector)
+
+    def _run_full_ndp_attached(self, plan, tracer, injector):
         device_entries = plan.entries
         device_residual = conjuncts(plan.residual)
         command = self.ndp.prepare_command(
             plan, device_entries, device_residual, aggregates_on_device=True)
+        admission_wait = 0.0
+        if injector.enabled:
+            needed = self.ndp.device.pipeline_cost_bytes(
+                *command.pipeline_shape())
+            admission_wait = injector.admission_delay(
+                needed, self.ndp.device.available_bytes)
         execution = self.ndp.execute(command)
         try:
             device_time, device_breakdown = self.timing.charge(
@@ -469,27 +593,96 @@ class CooperativeExecutor:
                 root_span = tracer.begin(
                     EXEC_TRACK, "full-ndp", 0.0, category="execution",
                     args={"strategy": "full-ndp", "batches": 1})
-            _s0, setup_end = link.acquire(0.0, setup_time,
-                                          label="NDP command payload")
-            _c0, compute_end = core.acquire(setup_end, device_time,
+            timeline = []
+            retries = 0
+            extra_wait = admission_wait   # admission + retry backoffs
+            wasted_time = 0.0
+            at = admission_wait
+            if admission_wait > 0.0:
+                timeline.append(TimelinePhase(
+                    "host", "wait", 0.0, admission_wait,
+                    "buffer admission wait"))
+            # Submit the NDP command; submission may fail transiently
+            # (fault injection) and retries back off in simulated time.
+            attempt = 0
+            while True:
+                setup = setup_time
+                if injector.enabled:
+                    setup = injector.scale_transfer(at, setup)
+                _s0, setup_end = link.acquire(at, setup,
+                                              label="NDP command payload")
+                if not injector.enabled:
+                    break
+                try:
+                    injector.check_submission(attempt)
+                    break
+                except TransientDeviceError:
+                    retries += 1
+                    wasted_time += setup_end - _s0
+                    timeline.append(TimelinePhase(
+                        "host", "setup", _s0, setup_end,
+                        f"NDP command (attempt {attempt + 1}: transient "
+                        f"failure)", resource=LINK_RESOURCE))
+                    if tracer.enabled:
+                        tracer.instant(
+                            FAULTS_TRACK, "transient-command-failure",
+                            setup_end, args={"attempt": attempt + 1,
+                                             "strategy": "full-ndp"})
+                    policy = injector.retry
+                    if attempt >= policy.max_retries:
+                        if tracer.enabled:
+                            tracer.instant(
+                                FAULTS_TRACK, "retries-exhausted", setup_end,
+                                args={"attempts": retries,
+                                      "strategy": "full-ndp"})
+                        if root_span is not None:
+                            tracer.end(root_span, setup_end)
+                        raise RetriesExhaustedError(
+                            f"full-ndp: NDP command submission failed "
+                            f"{retries} time(s), retries exhausted",
+                            strategy="full-ndp", retries=retries,
+                            wasted_time=setup_end,
+                            faults_injected=injector.faults_injected())
+                    backoff = policy.backoff(attempt)
+                    wasted_time += backoff
+                    extra_wait += backoff
+                    timeline.append(TimelinePhase(
+                        "host", "wait", setup_end, setup_end + backoff,
+                        f"retry backoff {attempt + 1}"))
+                    at = setup_end + backoff
+                    attempt += 1
+            core_stall = 0.0
+            compute_start = setup_end
+            if injector.enabled:
+                online = injector.core_offline_until(setup_end)
+                if online > setup_end:
+                    core_stall = online - setup_end
+                    timeline.append(TimelinePhase(
+                        "device", "stall", setup_end, online,
+                        "NDP core offline", resource=DEVICE_RESOURCE))
+                    compute_start = online
+            _c0, compute_end = core.acquire(compute_start, device_time,
                                             label="full QEP")
+            if injector.enabled:
+                transfer = injector.scale_transfer(compute_end, transfer)
             push_begin, total = link.acquire(compute_end, transfer,
                                              label="result push")
-            cpu.acquire(0.0, setup_time,   # host assembles the command
+            cpu.acquire(at, setup_time,   # host assembles the command
                         label="assemble NDP command")
-            timeline = [
-                TimelinePhase("host", "setup", 0.0, setup_end, "NDP command",
+            timeline.extend([
+                TimelinePhase("host", "setup", _s0, setup_end, "NDP command",
                               resource=LINK_RESOURCE),
-                TimelinePhase("device", "compute", setup_end, compute_end,
+                TimelinePhase("device", "compute", _c0, compute_end,
                               "full QEP", resource=DEVICE_RESOURCE),
                 TimelinePhase("host", "wait", setup_end, compute_end,
                               "full NDP wait"),
                 TimelinePhase("host", "transfer", push_begin, total,
                               "result fetch", resource=LINK_RESOURCE),
-            ]
+            ])
             if tracer.enabled:
                 _OPERATORS = {"setup": "ndp-command", "compute": "full-qep",
-                              "wait": "wait", "transfer": "result-fetch"}
+                              "wait": "wait", "transfer": "result-fetch",
+                              "stall": "stall"}
                 for phase in timeline:
                     args = {"placement": ("DEVICE" if phase.actor == "device"
                                           else "HOST"),
@@ -504,7 +697,10 @@ class CooperativeExecutor:
                 tracer.end(root_span, total)
             resource_stats = {r.name: r.stats(total)
                               for r in (link, core, cpu)}
-            return ExecutionReport(
+            host_wait = device_time
+            if injector.enabled:
+                host_wait += core_stall + extra_wait
+            report = ExecutionReport(
                 strategy="full-ndp",
                 total_time=total,
                 result=result,
@@ -512,9 +708,10 @@ class CooperativeExecutor:
                 device_counters=execution.counters,
                 device_breakdown=device_breakdown,
                 setup_time=setup_time,
-                host_wait_initial=device_time,
+                host_wait_initial=host_wait,
                 transfer_time=transfer,
                 device_busy_time=device_time,
+                device_stall_time=core_stall,
                 batches=1,
                 intermediate_rows=len(execution.rows),
                 intermediate_bytes=len(execution.rows) * execution.row_bytes,
@@ -523,5 +720,11 @@ class CooperativeExecutor:
                 trace_metrics=tracer.metrics(),
                 notes={"pointer_cache": execution.pointer_cache},
             )
+            if injector.enabled:
+                report.retries = retries
+                report.faults_injected = injector.faults_injected()
+                report.wasted_device_time = wasted_time
+                report.admission_wait_time = admission_wait
+            return report
         finally:
             self.ndp.release(execution)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.counters import WorkCounters
 from repro.engine.pipeline import PipelineConfig, PipelineExecutor, finalize
-from repro.errors import DeviceOverloadError, OffloadError
+from repro.errors import OffloadError
 from repro.lsm.snapshot import SharedState
 
 
@@ -216,8 +216,5 @@ class NDPEngine:
         secondary = sum(1 for entry in entries if entry.uses_secondary_index)
         joins = sum(1 for entry in entries
                     if entry.join_algorithm is not None)
-        try:
-            return self.device.can_host_pipeline(
-                selections, secondary, joins, 1 if with_group_by else 0)
-        except DeviceOverloadError:
-            return False
+        return self.device.can_host_pipeline(
+            selections, secondary, joins, 1 if with_group_by else 0)

@@ -88,6 +88,18 @@ class ExecutionReport:
     #: Flat {metric: number} summary from the run's Tracer (span counts,
     #: per-track and per-category span time); empty for untraced runs.
     trace_metrics: dict = field(default_factory=dict)
+    # Resilience (fault injection / graceful degradation, docs/robustness.md)
+    #: Strategy label the run degraded from (e.g. "H3") when the result
+    #: was produced by the host-only fallback; None for direct runs.
+    fallback_from: str = None
+    #: Failed NDP command submissions that were retried (or abandoned).
+    retries: int = 0
+    #: {fault_kind: count} injected by the run's FaultInjector.
+    faults_injected: dict = field(default_factory=dict)
+    #: Simulated seconds burnt on the abandoned/retried offload attempts.
+    wasted_device_time: float = 0.0
+    #: Simulated seconds admission control waited for device buffers.
+    admission_wait_time: float = 0.0
     notes: dict = field(default_factory=dict)
 
     @property
@@ -154,6 +166,17 @@ class ExecutionReport:
             "notes": {key: value for key, value in self.notes.items()
                       if isinstance(value, (str, int, float, bool, list))},
         }
+        # Only present when something was injected/degraded, so reports
+        # of fault-free runs stay byte-identical to pre-resilience ones.
+        if (self.fallback_from or self.retries or self.faults_injected
+                or self.wasted_device_time or self.admission_wait_time):
+            payload["resilience"] = {
+                "fallback_from": self.fallback_from,
+                "retries": self.retries,
+                "faults_injected": dict(self.faults_injected),
+                "wasted_device_time": self.wasted_device_time,
+                "admission_wait_time": self.admission_wait_time,
+            }
         if include_rows:
             payload["rows"] = self.result.rows
             payload["columns"] = self.result.columns

@@ -17,7 +17,8 @@ from repro.engine.cooperative import (EXEC_TRACK, HOST_RESOURCE,
 from repro.engine.host import HostEngine, HostEngineConfig
 from repro.engine.ndp import NDPEngine, NDPEngineConfig
 from repro.engine.timing import HostIOPath, TimingModel
-from repro.errors import PlanError, ReproError, ResourceError
+from repro.errors import PlanError, ReproError, RetriesExhaustedError
+from repro.faults import FAULTS_TRACK
 from repro.query.optimizer import build_plan
 from repro.storage.machines import HOST_I5
 
@@ -83,13 +84,17 @@ class StackRunner:
         """Build the baseline physical plan for SQL text."""
         return build_plan(sql, self.catalog)
 
-    def run(self, query, stack, split_index=None, tracer=None):
+    def run(self, query, stack, split_index=None, tracer=None, faults=None):
         """Execute ``query`` (SQL text or QueryPlan) on ``stack``.
 
         For ``Stack.HYBRID`` a ``split_index`` (the k of Hk) is required.
         ``tracer`` (a :class:`repro.sim.Tracer`) records the execution as
         structured spans for the Perfetto exporter; ``None`` disables
-        tracing at zero cost.
+        tracing at zero cost.  ``faults`` (a :class:`repro.faults.FaultPlan`)
+        degrades NDP/hybrid runs deterministically; when an offload
+        exhausts its retries the runner falls back to host-only execution
+        mid-query and the report records the degradation
+        (``fallback_from``, ``retries``, ``wasted_device_time``).
         """
         plan = self.plan(query) if isinstance(query, str) else query
         if stack is Stack.BLK:
@@ -99,13 +104,44 @@ class StackRunner:
             return self._traced_host(self._host_native, plan,
                                      "host-only(native)", tracer)
         if stack is Stack.NDP:
-            return self._cooperative.run_full_ndp(plan, tracer=tracer)
+            try:
+                return self._cooperative.run_full_ndp(plan, tracer=tracer,
+                                                      faults=faults)
+            except RetriesExhaustedError as failure:
+                return self._host_fallback(plan, failure, tracer)
         if stack is Stack.HYBRID:
             if split_index is None:
                 raise PlanError("hybrid execution needs a split_index")
-            return self._cooperative.run_split(plan, split_index,
-                                               tracer=tracer)
+            try:
+                return self._cooperative.run_split(plan, split_index,
+                                                   tracer=tracer,
+                                                   faults=faults)
+            except RetriesExhaustedError as failure:
+                return self._host_fallback(plan, failure, tracer)
         raise PlanError(f"unknown stack {stack!r}")
+
+    def _host_fallback(self, plan, failure, tracer):
+        """Graceful degradation: finish the query host-only.
+
+        The offload abandoned after bounded retries
+        (:class:`~repro.errors.RetriesExhaustedError`); re-execute the
+        whole plan on the host's native path and account the wasted
+        device attempt on the degraded report, so the caller still gets
+        correct rows plus an honest timeline.
+        """
+        if tracer is not None and tracer.enabled:
+            tracer.instant(FAULTS_TRACK, "fallback", failure.wasted_time,
+                           args={"from": failure.strategy,
+                                 "retries": failure.retries})
+        report = self._traced_host(self._host_native, plan,
+                                   "host-only(fallback)", tracer)
+        report.fallback_from = failure.strategy
+        report.retries = failure.retries
+        report.faults_injected = dict(failure.faults_injected)
+        report.wasted_device_time = failure.wasted_time
+        # The failed attempts happened before the host re-run started.
+        report.total_time += failure.wasted_time
+        return report
 
     def _traced_host(self, engine, plan, strategy, tracer):
         """Run a host-only plan, recording its breakdown as trace spans.
@@ -161,12 +197,12 @@ class StackRunner:
                 reports[f"H{k}"] = self.run(plan, Stack.HYBRID,
                                             split_index=k,
                                             tracer=_tracer(f"H{k}"))
-            except (ReproError, ResourceError) as error:
+            except ReproError as error:
                 # overload -> strategy infeasible
                 reports[f"H{k}"] = error
         try:
             reports["full-ndp"] = self.run(plan, Stack.NDP,
                                            tracer=_tracer("full-ndp"))
-        except (ReproError, ResourceError) as error:
+        except ReproError as error:
             reports["full-ndp"] = error
         return reports

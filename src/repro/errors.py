@@ -53,3 +53,28 @@ class DeviceOverloadError(ExecutionError):
 
 class OffloadError(ReproError):
     """An NDP offload precondition was violated."""
+
+
+class TransientDeviceError(ExecutionError):
+    """A device command failed transiently; retrying may succeed.
+
+    Raised by the fault injector for injected NDP command-submission
+    failures.  The cooperative executor retries with exponential backoff
+    in simulated time instead of failing the strategy outright.
+    """
+
+
+class RetriesExhaustedError(ExecutionError):
+    """An offloaded execution gave up after its bounded retries.
+
+    Carries what the abandoned attempt cost so the caller (``StackRunner``
+    mid-query fallback) can account it on the degraded report.
+    """
+
+    def __init__(self, message, strategy=None, retries=0, wasted_time=0.0,
+                 faults_injected=None):
+        super().__init__(message)
+        self.strategy = strategy
+        self.retries = retries
+        self.wasted_time = wasted_time
+        self.faults_injected = dict(faults_injected or {})

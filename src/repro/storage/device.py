@@ -7,7 +7,8 @@ index, 17 MB per secondary index, 7 MB per BNL/BNLI join) against the
 indices / ~17 without (§5).
 """
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 
 from repro.errors import DeviceOverloadError, StorageError
 from repro.storage.flash import FlashDevice
@@ -17,13 +18,21 @@ from repro.storage.machines import COSMOS_PLUS, DEFAULT_LINK
 
 @dataclass(frozen=True)
 class BufferReservation:
-    """Buffers reserved on the device for one NDP pipeline."""
+    """Buffers reserved on the device for one NDP pipeline.
+
+    ``token`` identifies the reservation on its device — two pipelines
+    with the same operator shape are *equal* as frozen dataclasses, so
+    release bookkeeping must never rely on equality (it once did, and a
+    double release silently corrupted the reserved-byte accounting).
+    The token is excluded from equality so shape comparison still works.
+    """
 
     selections: int
     secondary_indexes: int
     joins: int
     group_bys: int
     total_bytes: int
+    token: int = field(default=0, compare=False)
 
     def describe(self):
         """Human-readable reservation summary."""
@@ -48,7 +57,8 @@ class SmartStorageDevice:
         self.link = link or DEFAULT_LINK or PCIeLink()
         self.ndp_mode = ndp_mode
         self._reserved_bytes = 0
-        self._active_reservations = []
+        self._tokens = itertools.count(1)
+        self._active_reservations = {}    # token -> BufferReservation
 
     # ------------------------------------------------------------------
     # Buffer policy (paper §5)
@@ -103,17 +113,31 @@ class SmartStorageDevice:
             joins=joins,
             group_bys=group_bys,
             total_bytes=needed,
+            token=next(self._tokens),
         )
         self._reserved_bytes += needed
-        self._active_reservations.append(reservation)
+        self._active_reservations[reservation.token] = reservation
         return reservation
 
     def release_pipeline(self, reservation):
-        """Release a previously reserved pipeline."""
-        if reservation not in self._active_reservations:
-            raise StorageError("reservation is not active on this device")
-        self._active_reservations.remove(reservation)
+        """Release a previously reserved pipeline.
+
+        Reservations are tracked by identity (their device-issued
+        token), not dataclass equality: releasing twice, or releasing a
+        reservation issued by another device, fails loudly instead of
+        corrupting the budget.
+        """
+        active = self._active_reservations.get(reservation.token)
+        if active is not reservation:
+            raise StorageError(
+                "reservation is not active on this device "
+                "(double release, or a foreign device's reservation)")
+        del self._active_reservations[reservation.token]
         self._reserved_bytes -= reservation.total_bytes
+        if self._reserved_bytes < 0:
+            raise StorageError(
+                f"reservation accounting went negative "
+                f"({self._reserved_bytes} bytes) — release/reserve mismatch")
 
     def max_tables(self, with_secondary_index):
         """Upper bound on tables one pipeline can process (paper: 12/17).

@@ -11,6 +11,7 @@ asymmetry NDP exploits.
 from dataclasses import dataclass
 
 from repro.errors import StorageError
+from repro.faults import NULL_INJECTOR
 
 
 @dataclass(frozen=True)
@@ -73,7 +74,7 @@ class FlashDevice:
     """
 
     def __init__(self, geometry=None, capacity_bytes=64 * 1024 * 1024 * 1024,
-                 external_read_bandwidth=500e6):
+                 external_read_bandwidth=500e6, fault_injector=None):
         self.geometry = geometry or FlashGeometry()
         if capacity_bytes <= 0:
             raise StorageError("flash capacity must be positive")
@@ -82,6 +83,9 @@ class FlashDevice:
         # external interface (before PCIe); consumer COSMOS+-class devices
         # expose far less than the aggregate channel bandwidth.
         self.external_read_bandwidth = external_read_bandwidth
+        # Fault injection (repro.faults): read pricing asks the injector
+        # for ECC-retry penalties; chaos runs attach one per execution.
+        self.fault_injector = fault_injector or NULL_INJECTOR
         self._next_page = 0
         self._extents = {}
         self._counters = _FlashCounters()
@@ -149,6 +153,8 @@ class FlashDevice:
         batches = (pages + geometry.channels - 1) // geometry.channels
         latency = batches * geometry.page_read_latency
         stream = nbytes / geometry.internal_read_bandwidth
+        if self.fault_injector.enabled:
+            latency += self.fault_injector.flash_read_penalty(pages)
         return latency + stream
 
     def external_read_time(self, nbytes):
@@ -166,6 +172,8 @@ class FlashDevice:
         batches = (pages + geometry.channels - 1) // geometry.channels
         latency = batches * geometry.page_read_latency
         stream = nbytes / self.external_read_bandwidth
+        if self.fault_injector.enabled:
+            latency += self.fault_injector.flash_read_penalty(pages)
         return latency + stream
 
     def write_time(self, nbytes):

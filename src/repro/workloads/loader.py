@@ -71,10 +71,10 @@ class Environment:
         """Data bytes across all tables (excluding indexes)."""
         return self.catalog.total_bytes()
 
-    def run(self, query, stack, split_index=None, tracer=None):
+    def run(self, query, stack, split_index=None, tracer=None, faults=None):
         """Shortcut to :meth:`StackRunner.run`."""
         return self.runner.run(query, stack, split_index=split_index,
-                               tracer=tracer)
+                               tracer=tracer, faults=faults)
 
     def decide(self, query):
         """Shortcut to :meth:`HybridPlanner.decide`."""

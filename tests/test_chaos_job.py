@@ -1,0 +1,102 @@
+"""Chaos JOB sweep (repro.bench.chaos).
+
+The robustness contract, end to end over real JOB queries: every chaos
+scenario must return exactly the fault-free host baseline's rows within
+a bounded slowdown, same-seed runs must be byte-for-byte reproducible,
+and the command storm must degrade through the mid-query host fallback.
+
+The smoke grid (two queries x all scenarios) runs in tier 1; the
+representative differential set runs under ``--runslow``.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.chaos import (SCENARIOS, chaos_matrix, default_split,
+                               run_chaos, scenario_plan)
+from repro.errors import ReproError
+
+SMOKE_QUERIES = ["1a", "8c"]
+REPRESENTATIVE = ["1a", "2d", "3b", "6b", "8c", "11a", "14a", "17b",
+                  "22a", "26a", "29a", "32a", "33a"]
+
+
+class TestScenarioCatalogue:
+    def test_every_scenario_has_a_plan(self):
+        for name in SCENARIOS:
+            assert scenario_plan(name).enabled, name
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ReproError):
+            scenario_plan("meteor-strike")
+
+    def test_plans_are_seeded(self):
+        assert scenario_plan("flash-ecc", seed=3).seed == 3
+
+
+@pytest.mark.parametrize("query_name", SMOKE_QUERIES)
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_chaos_smoke(job_env, query_name, scenario):
+    summary = run_chaos(job_env, query_name, scenario, seed=0)
+    assert summary["rows_match"], (
+        f"{query_name}/{scenario} returned wrong rows under faults")
+    assert summary["bounded"], (
+        f"{query_name}/{scenario} blew the slowdown bound: "
+        f"{summary['faulted_time']:.4f}s vs host "
+        f"{summary['baseline_time']:.4f}s")
+    assert summary["faults_injected"], (
+        f"{query_name}/{scenario} injected nothing — scenario is inert")
+
+
+def test_command_storm_degrades_via_host_fallback(job_env):
+    summary = run_chaos(job_env, "8c", "command-storm", seed=0)
+    assert summary["strategy"] == "host-only(fallback)"
+    assert summary["fallback_from"] == f"H{summary['split_index']}"
+    assert summary["retries"] == 4
+    assert summary["wasted_device_time"] > 0.0
+    assert summary["rows_match"]
+
+
+def test_transient_commands_recover_without_fallback(job_env):
+    summary = run_chaos(job_env, "8c", "transient-commands", seed=0)
+    assert summary["fallback_from"] is None
+    assert summary["strategy"] == f"H{summary['split_index']}"
+    assert summary["retries"] == 2
+    assert summary["rows_match"]
+
+
+def test_same_seed_matrix_is_byte_identical(job_env):
+    kwargs = dict(scenarios=["transient-commands", "perfect-storm"], seed=5)
+    first = chaos_matrix(job_env, ["1a"], **kwargs)
+    second = chaos_matrix(job_env, ["1a"], **kwargs)
+    assert json.dumps(first, sort_keys=True) == json.dumps(second,
+                                                           sort_keys=True)
+
+
+def test_matrix_writes_fault_annotated_traces(job_env, tmp_path):
+    trace_dir = tmp_path / "traces"
+    chaos_matrix(job_env, ["1a"], scenarios=["command-storm"],
+                 trace_dir=str(trace_dir))
+    trace = json.loads((trace_dir / "1a-command-storm.json").read_text())
+    names = {event.get("name") for event in trace["traceEvents"]}
+    assert "retries-exhausted" in names
+    assert "fallback" in names
+
+
+def test_default_split_is_offloadable(job_env):
+    from repro.workloads.job_queries import query
+    plan = job_env.runner.plan(query("8c"))
+    split = default_split(job_env.runner, plan)
+    assert 0 <= split < plan.table_count
+    assert job_env.runner.ndp_engine.can_offload(plan.prefix(split))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("query_name", REPRESENTATIVE)
+def test_chaos_representative(job_env, query_name):
+    for scenario in sorted(SCENARIOS):
+        summary = run_chaos(job_env, query_name, scenario, seed=0)
+        assert summary["ok"], (
+            f"{query_name}/{scenario}: rows_match={summary['rows_match']} "
+            f"bounded={summary['bounded']}")

@@ -114,14 +114,14 @@ class TestRunAllSplitsBugfixes:
     def test_programming_errors_propagate(self, runner, monkeypatch):
         # Regression: a bare `except Exception` swallowed TypeErrors into
         # the results dict as if the strategy were infeasible.
-        def explode(plan, split_index, tracer=None):
+        def explode(plan, split_index, tracer=None, faults=None):
             raise TypeError("programming error")
         monkeypatch.setattr(runner._cooperative, "run_split", explode)
         with pytest.raises(TypeError):
             runner.run_all_splits(MINI_JOIN_SQL)
 
     def test_repro_errors_recorded_as_infeasible(self, runner, monkeypatch):
-        def overload(plan, split_index, tracer=None):
+        def overload(plan, split_index, tracer=None, faults=None):
             raise DeviceOverloadError("out of buffers")
         monkeypatch.setattr(runner._cooperative, "run_split", overload)
         reports = runner.run_all_splits(MINI_JOIN_SQL)

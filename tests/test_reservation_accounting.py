@@ -1,0 +1,120 @@
+"""Device buffer-reservation accounting (repro.storage.device).
+
+Regression suite for the release-by-equality bug: two pipelines with the
+same operator shape are *equal* frozen dataclasses, so releasing one of
+them twice used to double-decrement ``reserved_bytes`` and silently
+corrupt the budget.  Reservations are now tracked by device-issued
+token, double/foreign releases fail loudly, and the accounting can never
+go negative — which the interleaving property test hammers on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceOverloadError, StorageError
+from repro.storage.device import SmartStorageDevice
+
+
+def _device():
+    return SmartStorageDevice()
+
+
+class TestReleaseIdentity:
+    def test_double_release_fails_loudly(self):
+        device = _device()
+        reservation = device.reserve_pipeline(2, 1, 1)
+        device.release_pipeline(reservation)
+        with pytest.raises(StorageError):
+            device.release_pipeline(reservation)
+        assert device.reserved_bytes == 0
+
+    def test_same_shape_reservations_are_distinct(self):
+        # The original bug: equal dataclasses aliased each other in a
+        # list-based `remove`, so releasing A twice freed B's bytes.
+        device = _device()
+        first = device.reserve_pipeline(2, 1, 1)
+        second = device.reserve_pipeline(2, 1, 1)
+        assert first == second          # equal shapes...
+        assert first is not second      # ...but distinct reservations
+        device.release_pipeline(first)
+        with pytest.raises(StorageError):
+            device.release_pipeline(first)
+        assert device.reserved_bytes == second.total_bytes
+        device.release_pipeline(second)
+        assert device.reserved_bytes == 0
+
+    def test_foreign_reservation_rejected(self):
+        ours = _device()
+        theirs = _device()
+        reservation = theirs.reserve_pipeline(1)
+        with pytest.raises(StorageError):
+            ours.release_pipeline(reservation)
+        assert ours.reserved_bytes == 0
+        assert theirs.reserved_bytes == reservation.total_bytes
+
+    def test_release_restores_budget(self):
+        device = _device()
+        reservation = device.reserve_pipeline(3, 2, 2, 1)
+        assert device.available_bytes == (device.buffer_budget
+                                          - reservation.total_bytes)
+        device.release_pipeline(reservation)
+        assert device.available_bytes == device.buffer_budget
+
+
+@st.composite
+def _ops(draw):
+    """A sequence of interleaved reserve/release operations.
+
+    Each element is either a pipeline shape to reserve or the index of
+    an earlier op whose reservation to release (skipped when already
+    released — and sometimes deliberately *not* skipped, to exercise
+    the double-release rejection).
+    """
+    n = draw(st.integers(min_value=1, max_value=24))
+    ops = []
+    for i in range(n):
+        if i and draw(st.booleans()):
+            ops.append(("release", draw(st.integers(0, i - 1)),
+                        draw(st.booleans())))
+        else:
+            ops.append(("reserve",
+                        draw(st.integers(0, 6)), draw(st.integers(0, 4)),
+                        draw(st.integers(0, 4)), draw(st.integers(0, 1))))
+    return ops
+
+
+class TestInterleavingProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_ops())
+    def test_accounting_never_corrupts(self, ops):
+        device = _device()
+        reservations = {}    # op index -> reservation (live or released)
+        live = set()         # indices with a live reservation
+        for index, op in enumerate(ops):
+            if op[0] == "reserve":
+                _, sel, sec, joins, gbs = op
+                try:
+                    reservations[index] = device.reserve_pipeline(
+                        sel, sec, joins, gbs)
+                    live.add(index)
+                except DeviceOverloadError:
+                    pass     # over budget: correctly refused
+            else:
+                _, target, force_double = op
+                reservation = reservations.get(target)
+                if reservation is None:
+                    continue
+                if target in live:
+                    device.release_pipeline(reservation)
+                    live.discard(target)
+                elif force_double:
+                    # Double release must fail loudly, not corrupt.
+                    with pytest.raises(StorageError):
+                        device.release_pipeline(reservation)
+            expected = sum(reservations[i].total_bytes for i in live)
+            assert device.reserved_bytes == expected
+            assert 0 <= device.reserved_bytes <= device.buffer_budget
+        for index in live:
+            device.release_pipeline(reservations[index])
+        assert device.reserved_bytes == 0
