@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Concurrent JOB workload benchmark: throughput/latency under contention.
+
+    python scripts/concurrent_job_matrix.py [--scale S] [--seed N] \\
+        [--workload-seed N] [--queries 1a 8c ...] [--clients 1 2 4 8] \\
+        [--think-time T] [--repeat N] [--rate-qps R] \\
+        [--output BENCH_concurrency.json]
+
+Runs the closed-loop client-scaling sweep (and an open-loop point when
+``--rate-qps`` is given) on one shared simulated device + host, then
+writes the summary as ``BENCH_concurrency.json``.  The run is verified
+deterministic before writing: the benchmark executes twice with the same
+workload seed and the script exits non-zero if the two summaries differ,
+so CI can gate on reproducibility.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.concurrency import DEFAULT_QUERIES, concurrency_matrix
+from repro.workloads.loader import build_environment
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="concurrent JOB workload throughput/latency benchmark")
+    parser.add_argument("--scale", type=float, default=0.0002,
+                        help="dataset scale factor (default 0.0002)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="dataset seed (default 7)")
+    parser.add_argument("--workload-seed", type=int, default=0,
+                        help="arrival-process seed (default 0)")
+    parser.add_argument("--queries", nargs="*", default=DEFAULT_QUERIES,
+                        help=f"JOB query mix (default {DEFAULT_QUERIES})")
+    parser.add_argument("--clients", nargs="*", type=int,
+                        default=[1, 2, 4, 8],
+                        help="closed-loop client counts (default 1 2 4 8)")
+    parser.add_argument("--think-time", type=float, default=0.0,
+                        help="closed-loop think time in seconds")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="replay the query mix this many times")
+    parser.add_argument("--rate-qps", type=float, default=None,
+                        help="also run an open-loop point at this "
+                             "offered rate")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk workload cache directory")
+    parser.add_argument("--output", default="BENCH_concurrency.json",
+                        help="output JSON path")
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+
+    start = time.time()
+    env = build_environment(scale=args.scale, seed=args.seed,
+                            workload_cache_dir=args.cache_dir)
+    print(f"environment: scale={args.scale}, {env.total_rows:,} rows "
+          f"({time.time() - start:.0f}s)", flush=True)
+
+    def on_result(label, summary):
+        latency = summary["latency"]
+        print(f"{label:>12}: {summary['queries']:3d} queries  "
+              f"qps={summary['queries_per_second']:8.1f}  "
+              f"p50={latency['p50'] * 1e3:7.2f} ms  "
+              f"p95={latency['p95'] * 1e3:7.2f} ms  "
+              f"p99={latency['p99'] * 1e3:7.2f} ms  "
+              f"placements={summary['placements']}", flush=True)
+
+    def run_matrix(callback):
+        return concurrency_matrix(
+            env, query_names=args.queries, client_counts=args.clients,
+            think_time=args.think_time, repeat=args.repeat,
+            seed=args.workload_seed, rate_qps=args.rate_qps,
+            on_result=callback)
+
+    matrix = run_matrix(on_result)
+    print("re-running to verify determinism...", flush=True)
+    replay = run_matrix(lambda label, summary: None)
+    deterministic = (json.dumps(matrix, sort_keys=True)
+                     == json.dumps(replay, sort_keys=True))
+
+    payload = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "workload_seed": args.workload_seed,
+        "queries": args.queries,
+        "repeat": args.repeat,
+        "deterministic": deterministic,
+        "matrix": matrix,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+    print(f"\ndeterministic={deterministic}; total "
+          f"{time.time() - start:.0f}s; results in {args.output}")
+    return 0 if deterministic else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,18 +6,25 @@
     python -m repro sweep 8c                  # Fig-16-style split sweep
     python -m repro trace 8c --strategy split:best --out 8c.json
     python -m repro chaos 8c --seed 5         # fault-injection scenarios
+    python -m repro bench-concurrent --clients 8   # concurrent workload
     python -m repro experiment fig11          # a paper experiment
     python -m repro list-queries              # the JOB suite
 
 All commands build the synthetic JOB environment (seeded, deterministic)
-at the --scale given (default 0.0004).
+at the --scale given (default 0.0004).  The execution commands (run,
+trace, chaos, bench-concurrent) share one option set: ``--stack``,
+``--split``, ``--seed`` (the workload seed — fault-plan seed for chaos,
+arrival seed for bench-concurrent; the *dataset* seed stays the global
+``--seed`` before the subcommand) and ``--trace-dir``.
 """
 
 import argparse
+import os
 import sys
 
 from repro.bench import experiments as exp
 from repro.bench.reporting import format_table, ms, render_matrix_summary
+from repro.context import ExecutionContext
 from repro.engine.stacks import Stack
 from repro.errors import ReproError
 from repro.sim import Tracer
@@ -65,11 +72,19 @@ def cmd_info(args):
 
 def cmd_run(args):
     env = _build_env(args)
-    stack = _STACKS[args.stack]
-    report = env.run(query(args.query), stack, split_index=args.split)
+    stack = _STACKS[args.stack or "native"]
+    tracer = Tracer() if args.trace_dir else None
+    report = env.run(query(args.query), stack, split_index=args.split,
+                     ctx=ExecutionContext(tracer=tracer))
     print(report.summary())
     for row in report.result.rows[:10]:
         print(" ", row)
+    if tracer is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        out = os.path.join(args.trace_dir,
+                           f"{args.query}-{report.strategy}.json")
+        tracer.write(out)
+        print(f"trace written to {out}")
     return 0
 
 
@@ -121,10 +136,19 @@ def _resolve_trace_strategy(env, plan, spec):
 def cmd_trace(args):
     env = _build_env(args)
     plan = env.runner.plan(query(args.query))
-    stack, split_index = _resolve_trace_strategy(env, plan, args.strategy)
+    if args.stack:
+        # The shared --stack/--split flags select the strategy directly.
+        stack, split_index = _STACKS[args.stack], args.split
+    else:
+        stack, split_index = _resolve_trace_strategy(env, plan,
+                                                     args.strategy)
     tracer = Tracer()
-    report = env.run(plan, stack, split_index=split_index, tracer=tracer)
+    report = env.run(plan, stack, split_index=split_index,
+                     ctx=ExecutionContext(tracer=tracer))
     out = args.out or f"{args.query}-{report.strategy}.json"
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        out = os.path.join(args.trace_dir, os.path.basename(out))
     tracer.write(out)
     print(report.summary())
     metrics = tracer.metrics()
@@ -150,7 +174,8 @@ def cmd_chaos(args):
     rows = []
     failures = 0
     for scenario_row in chaos_matrix(
-            env, [args.query], scenarios=scenarios, seed=args.fault_seed,
+            env, [args.query], scenarios=scenarios,
+            seed=args.workload_seed,
             trace_dir=args.trace_dir).values():
         for summary in scenario_row.values():
             failures += 0 if summary["ok"] else 1
@@ -166,10 +191,51 @@ def cmd_chaos(args):
     print(format_table(
         ["scenario", "strategy", "rows ok", "retries", "faulted [ms]",
          "host [ms]", "faults injected"], rows,
-        title=f"Q{args.query} chaos matrix (fault seed {args.fault_seed})"))
+        title=f"Q{args.query} chaos matrix "
+              f"(fault seed {args.workload_seed})"))
     if args.trace_dir:
         print(f"fault-annotated traces written to {args.trace_dir}/")
     return 1 if failures else 0
+
+
+def cmd_bench_concurrent(args):
+    from repro.bench.concurrency import (DEFAULT_QUERIES,
+                                         run_concurrency_benchmark)
+    env = _build_env(args)
+    tracer = Tracer() if args.trace_dir else None
+    summary = run_concurrency_benchmark(
+        env, query_names=args.queries or DEFAULT_QUERIES, mode=args.mode,
+        clients=args.clients, think_time=args.think_time,
+        rate_qps=args.rate_qps, repeat=args.repeat,
+        seed=args.workload_seed, ctx=ExecutionContext(tracer=tracer))
+    latency = summary["latency"]
+    rows = [
+        ["queries", summary["queries"]],
+        ["mode", summary["mode"]],
+        ["makespan", ms(summary["makespan"])],
+        ["queries/sec", f"{summary['queries_per_second']:.1f}"],
+        ["p50 latency", ms(latency["p50"])],
+        ["p95 latency", ms(latency["p95"])],
+        ["p99 latency", ms(latency["p99"])],
+        ["placements", ", ".join(f"{name}={count}" for name, count
+                                 in summary["placements"].items())],
+    ]
+    for name, utilization in summary["resource_utilization"].items():
+        rows.append([f"{name} utilization", f"{utilization:.1%}"])
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"concurrent workload (seed {args.workload_seed})"))
+    if tracer is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        out = os.path.join(args.trace_dir, "concurrent-workload.json")
+        tracer.write(out)
+        print(f"workload trace written to {out}")
+    if args.output:
+        import json
+        with open(args.output, "w") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"summary written to {args.output}")
+    return 0
 
 
 def cmd_experiment(args):
@@ -195,6 +261,29 @@ def cmd_list_queries(_args):
     return 0
 
 
+def _execution_options():
+    """The parent parser shared by run / trace / chaos / bench-concurrent.
+
+    One definition for the flags every execution command understands, so
+    they cannot drift apart: ``--stack``/``--split`` select the strategy,
+    ``--seed`` is the *workload* seed (fault-plan seed for chaos, arrival
+    seed for bench-concurrent — distinct from the global dataset
+    ``--seed``), ``--trace-dir`` writes Perfetto traces.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--stack", choices=sorted(_STACKS), default=None,
+                        help="execution stack (default: native)")
+    parent.add_argument("--split", type=int, default=None,
+                        help="hybrid split index (the k of Hk)")
+    parent.add_argument("--seed", dest="workload_seed", type=int, default=0,
+                        help="workload seed: fault-plan seed for chaos, "
+                             "arrival seed for bench-concurrent (the "
+                             "dataset seed is the global --seed)")
+    parent.add_argument("--trace-dir", default=None,
+                        help="write Perfetto traces into this directory")
+    return parent
+
+
 def build_parser():
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -203,13 +292,12 @@ def build_parser():
                         help="dataset scale factor")
     parser.add_argument("--seed", type=int, default=7)
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_options()
 
     sub.add_parser("info").set_defaults(func=cmd_info)
 
-    run = sub.add_parser("run")
+    run = sub.add_parser("run", parents=[execution])
     run.add_argument("query")
-    run.add_argument("--stack", choices=sorted(_STACKS), default="native")
-    run.add_argument("--split", type=int, default=None)
     run.set_defaults(func=cmd_run)
 
     decide = sub.add_parser("decide")
@@ -221,28 +309,45 @@ def build_parser():
     sweep.set_defaults(func=cmd_sweep)
 
     trace = sub.add_parser(
-        "trace", help="run one query and write a Perfetto trace")
+        "trace", parents=[execution],
+        help="run one query and write a Perfetto trace")
     trace.add_argument("query")
     trace.add_argument("--strategy", default="split:best",
                        help="host-blk | host-native | full-ndp | "
-                            "split:<k> | split:best (default)")
+                            "split:<k> | split:best (default); "
+                            "--stack/--split override when given")
     trace.add_argument("--out", default=None,
                        help="output path (default <query>-<strategy>.json)")
     trace.set_defaults(func=cmd_trace)
 
     chaos = sub.add_parser(
-        "chaos", help="run one query under the fault-injection scenarios")
+        "chaos", parents=[execution],
+        help="run one query under the fault-injection scenarios")
     chaos.add_argument("query")
-    chaos.add_argument("--seed", dest="fault_seed", type=int, default=0,
-                       help="fault-plan seed (the dataset seed is the "
-                            "global --seed)")
     chaos.add_argument("--scenario", dest="scenarios", action="append",
                        default=None,
                        help="run only this scenario (repeatable)")
-    chaos.add_argument("--trace-dir", default=None,
-                       help="write one fault-annotated Perfetto trace "
-                            "per scenario into this directory")
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench-concurrent", parents=[execution],
+        help="run a concurrent multi-query workload on one shared device")
+    bench.add_argument("queries", nargs="*",
+                       help="JOB query mix (default: the benchmark mix)")
+    bench.add_argument("--mode", choices=["closed", "open"],
+                       default="closed",
+                       help="closed-loop clients or open-loop arrivals")
+    bench.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client count (default 8)")
+    bench.add_argument("--think-time", type=float, default=0.0,
+                       help="closed-loop think time in seconds")
+    bench.add_argument("--rate-qps", type=float, default=50.0,
+                       help="open-loop offered rate (default 50)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="replay the query mix this many times")
+    bench.add_argument("--output", default=None,
+                       help="also write the summary JSON to this path")
+    bench.set_defaults(func=cmd_bench_concurrent)
 
     experiment = sub.add_parser("experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -7,6 +7,8 @@ them as the paper-style tables the benchmarks print.
 
 from repro.bench.chaos import (SCENARIOS, chaos_matrix, run_chaos,
                                scenario_plan)
+from repro.bench.concurrency import (concurrency_matrix, percentile,
+                                     run_concurrency_benchmark)
 from repro.bench.experiments import (
     classify_matrix,
     exp_intro_fig2,
@@ -33,6 +35,9 @@ __all__ = [
     "scenario_plan",
     "run_chaos",
     "chaos_matrix",
+    "run_concurrency_benchmark",
+    "concurrency_matrix",
+    "percentile",
     "exp_intro_fig2",
     "exp1_stacks_fig11",
     "exp1_table3",

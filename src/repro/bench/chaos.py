@@ -16,7 +16,9 @@ byte-for-byte reproducible.
 """
 
 import os
+from dataclasses import replace
 
+from repro.context import ExecutionContext
 from repro.engine.stacks import Stack
 from repro.errors import ReproError
 from repro.faults import (CommandFaultModel, CoreFaultModel, DramFaultModel,
@@ -102,21 +104,24 @@ def default_split(runner, plan):
     return k
 
 
-def run_chaos(env, query_name, scenario, seed=0, tracer=None):
+def run_chaos(env, query_name, scenario, seed=0, ctx=None):
     """Run one JOB query under one chaos scenario.
 
-    Returns a plain summary dict: the three run times, the split point,
-    whether the degraded rows match the fault-free host baseline
-    (``rows_match``), whether the slowdown stayed bounded (``bounded``),
-    and the degraded report's resilience fields.
+    ``ctx`` (an :class:`~repro.context.ExecutionContext`) supplies the
+    degraded run's tracer/retry policy; its fault plan is replaced by
+    the scenario's.  Returns a plain summary dict: the three run times,
+    the split point, whether the degraded rows match the fault-free host
+    baseline (``rows_match``), whether the slowdown stayed bounded
+    (``bounded``), and the degraded report's resilience fields.
     """
+    ctx = ExecutionContext.coerce(ctx)
     plan = env.runner.plan(query(query_name))
     split = default_split(env.runner, plan)
     baseline = env.run(plan, Stack.NATIVE)
     reference = env.run(plan, Stack.HYBRID, split_index=split)
     faults = scenario_plan(scenario, seed=seed)
     faulted = env.run(plan, Stack.HYBRID, split_index=split,
-                      tracer=tracer, faults=faults)
+                      ctx=replace(ctx, faults=faults))
 
     rows_match = (faulted.result.sorted_rows()
                   == baseline.result.sorted_rows())
@@ -162,7 +167,7 @@ def chaos_matrix(env, query_names, scenarios=None, seed=0, trace_dir=None,
         for scenario in names:
             tracer = Tracer() if trace_dir else None
             summary = run_chaos(env, query_name, scenario, seed=seed,
-                                tracer=tracer)
+                                ctx=ExecutionContext(tracer=tracer))
             if trace_dir:
                 tracer.write(os.path.join(
                     trace_dir, f"{query_name}-{scenario}.json"))

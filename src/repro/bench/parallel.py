@@ -12,6 +12,7 @@ the sharded sweep is bit-identical to the serial one for a fixed seed.
 import os
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.context import ExecutionContext
 from repro.sim import Tracer
 from repro.workloads.job_queries import all_queries, query
 from repro.workloads.loader import build_environment
@@ -40,13 +41,13 @@ def strategy_times(env, query_name, trace_dir=None):
     ``trace_event`` JSON, one file per strategy).
     """
     tracers = {}
-    tracer_factory = None
+    ctx_factory = None
     if trace_dir:
-        def tracer_factory(strategy):
+        def ctx_factory(strategy):
             tracers[strategy] = Tracer()
-            return tracers[strategy]
+            return ExecutionContext(tracer=tracers[strategy])
     reports = env.runner.run_all_splits(query(query_name),
-                                        tracer_factory=tracer_factory)
+                                        ctx_factory=ctx_factory)
     if trace_dir:
         os.makedirs(trace_dir, exist_ok=True)
         for strategy, report in reports.items():

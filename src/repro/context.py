@@ -1,0 +1,96 @@
+"""The execution context: one handle for every cross-cutting collaborator.
+
+Tracing (PR 2) and fault injection (PR 3) were threaded through the
+engine as separate ``tracer=`` / ``faults=`` keyword arguments; the
+concurrent scheduler would have added a third.  :class:`ExecutionContext`
+stops the kwarg sprawl: every run entry point (``StackRunner.run``,
+``Environment.run``, ``CooperativeExecutor.run_split`` /
+``run_full_ndp``, ``run_all_splits``, the chaos and bench harnesses)
+accepts a single ``ctx=`` carrying all of them.  The old keywords keep
+working through :meth:`ExecutionContext.coerce`, the one compatibility
+shim — internal code only ever passes contexts.
+
+The context is frozen: it describes *how* to run, never accumulates
+per-run state.  Mutable per-run collaborators (an active
+:class:`~repro.faults.FaultInjector`) are derived from it per execution
+via :meth:`injector`.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan, as_injector
+from repro.sim.trace import as_tracer
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Immutable bundle of the cross-cutting run collaborators.
+
+    ``tracer``
+        A :class:`repro.sim.Tracer` recording the run as structured
+        spans, or ``None`` for zero-cost no-op tracing.
+    ``faults``
+        A :class:`repro.faults.FaultPlan` (a fresh injector is created
+        per execution) or an already-active injector, or ``None``.
+    ``retry_policy``
+        A :class:`repro.faults.RetryPolicy` overriding the fault plan's
+        policy, or ``None`` to use the plan's own.
+    ``scheduler``
+        The :class:`repro.sched.WorkloadScheduler` a run belongs to when
+        it executes as part of a concurrent workload, or ``None`` for
+        standalone runs.  Scheduler-driven executions share the
+        scheduler's simulated kernel instead of building private
+        resources.
+    """
+
+    tracer: object = None
+    faults: object = None
+    retry_policy: object = None
+    scheduler: object = None
+
+    @classmethod
+    def coerce(cls, ctx=None, tracer=None, faults=None):
+        """Normalise ``(ctx, legacy kwargs)`` to one context.
+
+        This is the compatibility shim for the pre-context ``tracer=`` /
+        ``faults=`` keywords: passing them *alongside* an explicit
+        context is ambiguous and raises.
+        """
+        if ctx is None:
+            if tracer is None and faults is None:
+                return NULL_CONTEXT
+            return cls(tracer=tracer, faults=faults)
+        if not isinstance(ctx, ExecutionContext):
+            raise ReproError(
+                f"ctx must be an ExecutionContext, got {type(ctx).__name__}")
+        if tracer is not None or faults is not None:
+            raise ReproError(
+                "pass tracer/faults inside the ExecutionContext, "
+                "not alongside it")
+        return ctx
+
+    def sim_tracer(self):
+        """The context's tracer as a usable (possibly null) tracer."""
+        return as_tracer(self.tracer)
+
+    def injector(self):
+        """A per-execution fault injector honouring ``retry_policy``.
+
+        A :class:`~repro.faults.FaultPlan` yields a *fresh* injector per
+        call (each execution draws its own RNG stream); an active
+        injector passes through so one injector's counts can span a
+        retry plus its fallback.
+        """
+        faults = self.faults
+        if self.retry_policy is not None and isinstance(faults, FaultPlan):
+            faults = replace(faults, retry=self.retry_policy)
+        return as_injector(faults)
+
+    def with_scheduler(self, scheduler):
+        """A copy of this context bound to ``scheduler``."""
+        return replace(self, scheduler=scheduler)
+
+
+#: The do-nothing context: no tracing, no faults, no scheduler.
+NULL_CONTEXT = ExecutionContext()

@@ -7,7 +7,7 @@ hybrid planner that decides host-only / full-NDP / Hk for a query.
 """
 
 from repro.core.hardware import HardwareModel
-from repro.core.cost_model import CostModel, NodeCost, PlanCost
+from repro.core.cost_model import CostModel, DeviceLoad, NodeCost, PlanCost
 from repro.core.splitter import SplitChoice, SplitPlanner
 from repro.core.strategy import ExecutionStrategy, HybridDecision
 from repro.core.planner import HybridPlanner
@@ -15,6 +15,7 @@ from repro.core.planner import HybridPlanner
 __all__ = [
     "HardwareModel",
     "CostModel",
+    "DeviceLoad",
     "NodeCost",
     "PlanCost",
     "SplitPlanner",

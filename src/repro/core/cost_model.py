@@ -21,6 +21,46 @@ DEFAULT_USR_REC = 0.1
 #: Bytes per record are normalised by this so c_cpu stays commensurable
 #: with c_scan; corresponds to pricing CPU work per 64 processed bytes.
 _BYTES_NORM = 64.0
+#: Utilization above this is priced as if it were this: the M/M/1-style
+#: inflation 1/(1-u) diverges at u=1 and the measured utilization of an
+#: always-busy resource approaches it, so the cap keeps the inflated
+#: costs finite (at most 20x) while still making a saturated device
+#: deeply unattractive.
+MAX_PRICED_UTILIZATION = 0.95
+
+
+@dataclass(frozen=True)
+class DeviceLoad:
+    """A snapshot of device-side pressure, folded into the cost model.
+
+    The concurrent scheduler measures these from its shared sim kernel
+    before admitting a query; the planner then prices *device* placement
+    as if served by the loaded device, so hot devices push work back to
+    the host (load-aware placement).  All fields are dimensionless
+    fractions in ``[0, 1]`` except ``inflight``.
+    """
+
+    core_utilization: float = 0.0    # NDP core busy fraction so far
+    link_utilization: float = 0.0    # PCIe link busy fraction so far
+    reserved_fraction: float = 0.0   # device DRAM budget already reserved
+    inflight: int = 0                # queries currently using the device
+
+    def compute_scale(self):
+        """Inflation for on-device compute terms.
+
+        Queueing-style ``1/(1-u)`` inflation on the core's utilization,
+        compounded by DRAM pressure: a device whose pipeline buffers are
+        mostly reserved makes every new fragment more expensive (smaller
+        working sets, more refills).
+        """
+        u = min(MAX_PRICED_UTILIZATION, max(0.0, self.core_utilization))
+        pressure = 1.0 + max(0.0, min(1.0, self.reserved_fraction))
+        return pressure / (1.0 - u)
+
+    def transfer_scale(self):
+        """Inflation for PCIe transfer terms under link contention."""
+        u = min(MAX_PRICED_UTILIZATION, max(0.0, self.link_utilization))
+        return 1.0 / (1.0 - u)
 
 
 @dataclass
@@ -71,10 +111,22 @@ class CostModel:
     """Computes per-node and cumulative plan costs (eqs. 1-8)."""
 
     def __init__(self, hardware, usr_rec=DEFAULT_USR_REC,
-                 block_bytes=16 * 1024):
+                 block_bytes=16 * 1024, device_load=None):
         self.hardware = hardware
         self.usr_rec = usr_rec
         self.block_bytes = block_bytes   # tbl_nbs
+        self.device_load = device_load   # None = unloaded device
+
+    def with_load(self, device_load):
+        """A copy of this model pricing device work under ``device_load``.
+
+        Host-placement costs are unchanged — the load model captures
+        *device* contention; host contention shows up in the simulated
+        timeline, not the planning estimate.
+        """
+        return CostModel(self.hardware, usr_rec=self.usr_rec,
+                         block_bytes=self.block_bytes,
+                         device_load=device_load)
 
     # ------------------------------------------------------------------
     # Per-table components
@@ -145,9 +197,14 @@ class CostModel:
         nodes = []
         cumulative = 0.0
         hardware = self.hardware
+        compute_scale = 1.0
+        transfer_scale = 1.0
+        if on_device and self.device_load is not None:
+            compute_scale = self.device_load.compute_scale()
+            transfer_scale = self.device_load.transfer_scale()
         for entry in plan.entries:
-            c_scan = self.scan_cost(entry, on_device)
-            c_cpu = self.cpu_cost(entry, on_device)
+            c_scan = self.scan_cost(entry, on_device) * compute_scale
+            c_cpu = self.cpu_cost(entry, on_device) * compute_scale
             node_ren = max(1, entry.estimated_output_rows)
             node_pbn = self._prefix_row_bytes(plan, entry)
             # Buffer management: how many buffer refills the node's
@@ -155,10 +212,10 @@ class CostModel:
             buffer_bytes = (hardware.hw_msj if on_device
                             else hardware.hw_msh // 64)
             node_brc = (node_ren * node_pbn / max(1, buffer_bytes)) * (
-                hardware.memcpy_factor(on_device))
+                hardware.memcpy_factor(on_device)) * compute_scale
             if on_device:
                 c_trans = (node_ren * node_pbn / self.block_bytes
-                           * hardware.cf_pcie())
+                           * hardware.cf_pcie()) * transfer_scale
             else:
                 c_trans = self.transfer_cost(entry, on_device=False)
             join_cost = 0.0
@@ -166,7 +223,7 @@ class CostModel:
                 # Join work (seeks, hash probes) runs on the device's
                 # DRAM-bound path, not the 31x CoreMark path.
                 join_cost = node_ren * self.usr_rec * (
-                    hardware.index_factor(on_device))
+                    hardware.index_factor(on_device)) * compute_scale
             cumulative = (cumulative + c_scan + c_cpu + join_cost
                           + node_brc)
             # eq. (8): transfers are pending at the end for NDP; for the

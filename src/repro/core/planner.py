@@ -29,15 +29,29 @@ class HybridPlanner:
         """Baseline physical plan for SQL text."""
         return build_plan(sql, self.catalog)
 
-    def decide(self, query):
-        """Make the offloading decision for SQL text or a QueryPlan."""
+    def decide(self, query, device_load=None):
+        """Make the offloading decision for SQL text or a QueryPlan.
+
+        ``device_load`` (a :class:`~repro.core.cost_model.DeviceLoad`)
+        re-prices device placement for a busy device: the concurrent
+        scheduler passes its measured utilization snapshot so placement
+        is load-aware — a hot device inflates device-side costs and the
+        decision drifts toward host-only / smaller splits.
+        """
         plan = self.plan(query) if isinstance(query, str) else query
-        host_cost = self.cost_model.plan_cost(plan, on_device=False)
-        device_cost = self.cost_model.plan_cost(plan, on_device=True)
+        cost_model = self.cost_model
+        splitter = self.splitter
+        if device_load is not None:
+            cost_model = cost_model.with_load(device_load)
+            splitter = SplitPlanner(
+                self.hardware, cost_model,
+                min_transfer_bytes=self.splitter.min_transfer_bytes)
+        host_cost = cost_model.plan_cost(plan, on_device=False)
+        device_cost = cost_model.plan_cost(plan, on_device=True)
         c_total_host = host_cost.c_total
         c_total_device = device_cost.c_total
 
-        preconditions = self.splitter.check_preconditions(plan, self.device)
+        preconditions = splitter.check_preconditions(plan, self.device)
         if not all(preconditions.values()):
             failed = sorted(name for name, ok in preconditions.items()
                             if not ok)
@@ -50,7 +64,7 @@ class HybridPlanner:
                 reason=f"preconditions failed: {', '.join(failed)}",
             )
 
-        choice = self.splitter.choose_split(plan)
+        choice = splitter.choose_split(plan)
         split_index = self._fit_to_device(plan, choice.split_index)
 
         estimates = {

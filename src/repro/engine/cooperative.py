@@ -15,23 +15,27 @@ link — the NDP command payload, the device's per-batch result pushes and
 the host's fetch/completion commands — acquires the link resource, so
 transfers serialize with queuing delays that feed the ``host_wait_*`` /
 ``device_stall_time`` accounting instead of silently overlapping.
+
+A single-query run owns a private kernel (its own clock, loop and
+resources, all starting at time zero).  The concurrent workload
+scheduler (:mod:`repro.sched`) instead *stages* splits with
+:meth:`CooperativeExecutor.prepare_split` and starts many of them on one
+shared :class:`~repro.sim.SimContext`, so queries contend for the same
+link/core/CPU and the same device DRAM budget.
 """
 
 import math
 
+from repro.context import ExecutionContext
 from repro.engine.counters import WorkCounters
 from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
 from repro.engine.timing import ExecutionLocation
-from repro.errors import (PlanError, RetriesExhaustedError,
+from repro.errors import (PlanError, ReproError, RetriesExhaustedError,
                           TransientDeviceError)
-from repro.faults import FAULTS_TRACK, NULL_INJECTOR, as_injector
+from repro.faults import FAULTS_TRACK, NULL_INJECTOR
 from repro.query.ast import conjuncts
-from repro.sim import BusyResource, EventLoop, SimClock, as_tracer
-
-#: Resource names used in ``ExecutionReport.resource_stats`` / timelines.
-LINK_RESOURCE = "pcie_link"
-DEVICE_RESOURCE = "device_core1"
-HOST_RESOURCE = "host_cpu"
+from repro.sim import (DEVICE_RESOURCE, HOST_RESOURCE, LINK_RESOURCE,
+                       BusyResource, EventLoop, SimClock, as_tracer)
 
 #: Track that carries one root span per traced execution.
 EXEC_TRACK = "exec"
@@ -54,12 +58,19 @@ class _SplitSimulation:
     the next batch has not arrived yet.  Real host-side join work happens
     inside the consume events, in batch order, so results are identical to
     the sequential implementation.
+
+    With ``kernel`` (a :class:`~repro.sim.SimContext`) the simulation
+    runs on *shared* clock/loop/resources: :meth:`start` schedules the
+    begin event at an absolute workload time and completion is signalled
+    through ``on_complete`` instead of draining a private loop.  Without
+    it the simulation owns a private kernel and :meth:`run` drains it —
+    the original single-query behaviour, byte for byte.
     """
 
     def __init__(self, executor, timing, plan, batches, per_batch_device,
                  row_bytes, slots, setup_time, session, host_counters,
                  tracer=None, strategy_label="split", injector=None,
-                 start_offset=0.0):
+                 start_offset=0.0, kernel=None, trace_label=None):
         self.executor = executor
         self.timing = timing
         self.plan = plan
@@ -73,15 +84,32 @@ class _SplitSimulation:
         self.host_counters = host_counters
         self.tracer = as_tracer(tracer)
         self.strategy_label = strategy_label
+        self.trace_label = trace_label or strategy_label
         self.root_span = None
         self.injector = injector or NULL_INJECTOR
         self.start_offset = start_offset   # admission-control wait
 
-        self.clock = SimClock()
-        self.loop = EventLoop(self.clock, tracer=self.tracer)
-        self.link = BusyResource(LINK_RESOURCE, tracer=self.tracer)
-        self.core = BusyResource(DEVICE_RESOURCE, tracer=self.tracer)
-        self.cpu = BusyResource(HOST_RESOURCE, tracer=self.tracer)
+        self.kernel = kernel
+        self.shared = kernel is not None
+        self.origin = 0.0                  # workload time this run begins
+        self.on_complete = None            # shared mode: completion hook
+        self.on_abandon = None             # shared mode: retries-exhausted
+        if kernel is None:
+            self.exec_track = EXEC_TRACK
+            self.clock = SimClock()
+            self.loop = EventLoop(self.clock, tracer=self.tracer)
+            self.link = BusyResource(LINK_RESOURCE, tracer=self.tracer)
+            self.core = BusyResource(DEVICE_RESOURCE, tracer=self.tracer)
+            self.cpu = BusyResource(HOST_RESOURCE, tracer=self.tracer)
+        else:
+            # Per-query root spans get their own track so concurrent
+            # executions don't interleave X events on one track.
+            self.exec_track = f"{EXEC_TRACK}/{self.trace_label}"
+            self.clock = kernel.clock
+            self.loop = kernel.loop
+            self.link = kernel.link
+            self.core = kernel.core
+            self.cpu = kernel.cpu
 
         self.timeline = []
         self.joined_rows = []
@@ -126,12 +154,30 @@ class _SplitSimulation:
         self._phase("host", "wait", start, end, label, operator="wait",
                     extra={"batch": index} if self.tracer.enabled else None)
 
+    def _host_charge(self, work):
+        """Price host-side work with this run's injector attached.
+
+        Serial runs execute inside ``run_split``'s injector-attachment
+        window, so attaching again would be redundant; shared-kernel runs
+        interleave many queries with distinct injectors on one flash
+        model, so each pricing call attaches its own for its duration.
+        """
+        if self.shared and self.injector.enabled:
+            with self.injector.attached(self.executor.ndp.device):
+                return work()
+        return work()
+
     # -- simulation ----------------------------------------------------
     def run(self):
-        """Run the simulation; returns the total simulated time."""
+        """Run the simulation on the private kernel; returns total time."""
+        if self.shared:
+            raise ReproError(
+                "run() drives a private kernel; shared-kernel simulations "
+                "are started with start() and drained by their scheduler")
         if self.tracer.enabled:
             self.root_span = self.tracer.begin(
-                EXEC_TRACK, self.strategy_label, 0.0, category="execution",
+                self.exec_track, self.strategy_label, 0.0,
+                category="execution",
                 args={"strategy": self.strategy_label,
                       "batches": self.n_batches, "slots": self.slots})
         self.loop.schedule_at(0.0, self._begin, label="begin")
@@ -141,13 +187,36 @@ class _SplitSimulation:
             self.tracer.end(self.root_span, total)
         return total
 
+    def start(self, at, on_complete=None, on_abandon=None):
+        """Begin this run at workload time ``at`` on the shared kernel.
+
+        ``on_complete(sim)`` fires (as an event) when the host epilogue
+        finishes; ``on_abandon(sim, error)`` replaces the
+        :class:`~repro.errors.RetriesExhaustedError` raise when command
+        submission exhausts its retries, so one query's degradation
+        doesn't unwind the whole workload's event loop.
+        """
+        if not self.shared:
+            raise ReproError("start() requires a shared kernel; "
+                             "single runs use run()")
+        self.origin = at
+        self.on_complete = on_complete
+        self.on_abandon = on_abandon
+        if self.tracer.enabled:
+            self.root_span = self.tracer.begin(
+                self.exec_track, self.trace_label, at, category="execution",
+                args={"strategy": self.strategy_label,
+                      "batches": self.n_batches, "slots": self.slots})
+        self.loop.schedule_at(at, self._begin,
+                              label=f"begin {self.trace_label}")
+
     def _begin(self):
-        offset = self.start_offset
-        if offset > 0.0:
+        offset = self.origin + self.start_offset
+        if self.start_offset > 0.0:
             # Admission control waited for a DRAM-pressure window to
             # pass instead of raising DeviceOverloadError outright.
-            self.host_wait_initial += offset
-            self._phase("host", "wait", 0.0, offset,
+            self.host_wait_initial += self.start_offset
+            self._phase("host", "wait", self.origin, offset,
                         "buffer admission wait", operator="admission-wait")
         self._submit(0, offset)
 
@@ -189,6 +258,7 @@ class _SplitSimulation:
         policy = self.injector.retry
         if attempt >= policy.max_retries:
             self._abandon(end)
+            return
         backoff = policy.backoff(attempt)
         self.wasted_time += backoff
         self.host_wait_initial += backoff
@@ -199,7 +269,13 @@ class _SplitSimulation:
                               label=f"resubmit attempt {attempt + 2}")
 
     def _abandon(self, now):
-        """Give up on the offload: close the trace and raise."""
+        """Give up on the offload: close the trace and fail the run.
+
+        Without an ``on_abandon`` hook (single-query runs) the error
+        propagates out of the private event loop for the caller's host
+        fallback; with one (scheduler runs) the hook absorbs it so the
+        shared loop keeps draining the other queries' events.
+        """
         if self.tracer.enabled:
             self.tracer.instant(FAULTS_TRACK, "retries-exhausted", now,
                                 args={"attempts": self.retries,
@@ -207,12 +283,16 @@ class _SplitSimulation:
         if self.root_span is not None:
             self.tracer.end(self.root_span, now)
             self.root_span = None
-        raise RetriesExhaustedError(
+        error = RetriesExhaustedError(
             f"{self.strategy_label}: NDP command submission failed "
             f"{self.retries} time(s), retries exhausted",
             strategy=self.strategy_label, retries=self.retries,
             wasted_time=now,
             faults_injected=self.injector.faults_injected())
+        if self.on_abandon is not None:
+            self.on_abandon(self, error)
+            return
+        raise error
 
     # -- device process ------------------------------------------------
     def _device_next(self, i):
@@ -243,6 +323,12 @@ class _SplitSimulation:
                 return
         begin, end = self.core.acquire(now, self.per_batch_device,
                                        label=f"produce batch {i}")
+        if self.shared and begin > now:
+            # Another query's fragment occupies the NDP core: the wait
+            # is this query's device stall (cross-query contention).
+            self.device_stall += begin - now
+            self._phase("device", "stall", now, begin,
+                        f"core busy before batch {i}", operator="stall")
         self._phase("device", "compute", begin, end,
                     f"batch {i} ({len(self.batches[i])} rows)",
                     resource=DEVICE_RESOURCE, operator="pqep-prefix",
@@ -335,11 +421,16 @@ class _SplitSimulation:
                             operator="stall")
             self._device_produce(index)
 
-        batch_time, delta = self.executor._process_batch(
-            self.session, self.batches[i], self.row_bytes,
-            self.host_counters, self.joined_rows)
+        batch_time, delta = self._host_charge(
+            lambda: self.executor._process_batch(
+                self.session, self.batches[i], self.row_bytes,
+                self.host_counters, self.joined_rows))
         begin, end = self.cpu.acquire(now, batch_time,
                                       label=f"process batch {i}")
+        if self.shared and begin > now:
+            # Another query holds the host CPU: queueing counts as host
+            # wait, not as processing.
+            self._host_wait(i, now, begin, f"cpu busy before batch {i}")
         self._phase("host", "compute", begin, end, f"process batch {i}",
                     resource=HOST_RESOURCE, operator="fragment-join",
                     extra={"batch": i, "counters": _counter_deltas(delta)}
@@ -350,7 +441,8 @@ class _SplitSimulation:
 
     def _host_epilogue(self):
         now = self.clock.now
-        epilogue, delta = self.executor._finalize_time(self)
+        epilogue, delta = self._host_charge(
+            lambda: self.executor._finalize_time(self))
         begin, end = self.cpu.acquire(now, epilogue, label="finalize")
         self._phase("host", "compute", begin, end, "finalize",
                     resource=HOST_RESOURCE, operator="finalize",
@@ -358,11 +450,117 @@ class _SplitSimulation:
                     if self.tracer.enabled else None)
         self.host_processing += epilogue
         self.host_end = end
+        if self.shared:
+            if self.root_span is not None:
+                self.tracer.end(self.root_span, end)
+                self.root_span = None
+            if self.on_complete is not None:
+                self.loop.schedule_at(
+                    end, lambda: self.on_complete(self),
+                    label=f"complete {self.trace_label}")
 
     def resource_stats(self, horizon):
         """Per-resource busy/wait/utilization over ``[0, horizon]``."""
         return {resource.name: resource.stats(horizon)
                 for resource in (self.link, self.core, self.cpu)}
+
+
+class PreparedSplit:
+    """A hybrid split staged for execution.
+
+    The device fragment already ran (its pipeline buffers are *reserved*
+    on the device until :meth:`release`), intermediate batches are
+    staged, and the host fragment session is open.  ``run_split`` drives
+    one to completion on a private kernel; the workload scheduler starts
+    many on a shared kernel and calls :meth:`finish` as their completion
+    events fire — the held reservations are what concurrent admission
+    control arbitrates.
+    """
+
+    def __init__(self, executor, plan, split_index, execution, sim,
+                 device_time, device_breakdown, setup_time, n_batches,
+                 row_bytes, intermediate_rows, host_counters,
+                 device_aliases, admission_wait, injector, tracer):
+        self.executor = executor
+        self.plan = plan
+        self.split_index = split_index
+        self.execution = execution
+        self.sim = sim
+        self.device_time = device_time
+        self.device_breakdown = device_breakdown
+        self.setup_time = setup_time
+        self.n_batches = n_batches
+        self.row_bytes = row_bytes
+        self.intermediate_rows = intermediate_rows
+        self.host_counters = host_counters
+        self.device_aliases = device_aliases
+        self.admission_wait = admission_wait
+        self.injector = injector
+        self.tracer = tracer
+        self._released = False
+
+    @property
+    def reservation_bytes(self):
+        """Device DRAM bytes this split's pipeline holds while staged."""
+        return self.execution.reservation.total_bytes
+
+    def start(self, at, on_complete=None, on_abandon=None):
+        """Start the staged simulation on its shared kernel at ``at``."""
+        self.sim.start(at, on_complete=on_complete, on_abandon=on_abandon)
+
+    def release(self):
+        """Release the device pipeline buffers (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.executor.ndp.release(self.execution)
+
+    def build_report(self, total_time, resource_stats=None):
+        """The :class:`ExecutionReport` for the completed simulation."""
+        sim = self.sim
+        _final_time, host_breakdown = sim._host_charge(
+            lambda: self.executor.timing.charge(self.host_counters,
+                                                ExecutionLocation.HOST))
+        report = ExecutionReport(
+            strategy=f"H{self.split_index}",
+            total_time=total_time,
+            result=sim.result,
+            split_index=self.split_index,
+            host_counters=self.host_counters,
+            device_counters=self.execution.counters,
+            host_breakdown=host_breakdown,
+            device_breakdown=self.device_breakdown,
+            setup_time=self.setup_time,
+            host_wait_initial=sim.host_wait_initial,
+            host_wait_other=sim.host_wait_other,
+            transfer_time=sim.transfer_total,
+            host_processing_time=sim.host_processing,
+            device_busy_time=self.device_time,
+            device_stall_time=sim.device_stall,
+            batches=self.n_batches,
+            intermediate_rows=self.intermediate_rows,
+            intermediate_bytes=self.intermediate_rows * self.row_bytes,
+            timeline=sim.timeline,
+            resource_stats=resource_stats if resource_stats is not None
+            else {},
+            trace_metrics=self.tracer.metrics(),
+            notes={"pointer_cache": self.execution.pointer_cache,
+                   "device_aliases": self.device_aliases,
+                   "device_stage_rows": self.execution.stage_trace},
+        )
+        if self.injector.enabled:
+            report.retries = sim.retries
+            report.faults_injected = self.injector.faults_injected()
+            report.wasted_device_time = sim.wasted_time
+            report.admission_wait_time = self.admission_wait
+        return report
+
+    def finish(self, total_time, resource_stats=None):
+        """Build the report, then release the device pipeline."""
+        try:
+            return self.build_report(total_time,
+                                     resource_stats=resource_stats)
+        finally:
+            self.release()
 
 
 class CooperativeExecutor:
@@ -390,6 +588,20 @@ class CooperativeExecutor:
             else:
                 host_side.append(conjunct)
         return device_side, host_side
+
+    def _split_fragments(self, plan, split_index):
+        """(device_entries, host_entries, aliases, residual split) for Hk."""
+        if not 0 <= split_index < plan.table_count:
+            raise PlanError(
+                f"split index {split_index} out of range for "
+                f"{plan.table_count} tables")
+        device_entries = plan.prefix(split_index)
+        host_entries = plan.suffix(split_index)
+        device_aliases = [entry.alias for entry in device_entries]
+        device_residual, host_residual = self._split_residual(
+            plan, device_aliases)
+        return (device_entries, host_entries, device_aliases,
+                device_residual, host_residual)
 
     def _process_batch(self, session, batch, row_bytes, host_counters,
                        joined_rows):
@@ -431,37 +643,60 @@ class CooperativeExecutor:
     # ------------------------------------------------------------------
     # Hybrid split execution
     # ------------------------------------------------------------------
-    def run_split(self, plan, split_index, tracer=None, faults=None):
+    def run_split(self, plan, split_index, ctx=None, *, tracer=None,
+                  faults=None):
         """Execute the plan with split point ``H{split_index}``.
 
-        ``tracer`` (a :class:`~repro.sim.Tracer`) records the run as
-        structured spans; when omitted tracing is a no-op.  ``faults``
-        (a :class:`~repro.faults.FaultPlan` or an active injector)
-        degrades the run — transient submission failures retry with
-        backoff in simulated time, and exhausting the retries raises
+        ``ctx`` (an :class:`~repro.context.ExecutionContext`) carries the
+        run's tracer, fault plan and retry policy; the legacy ``tracer=``
+        / ``faults=`` keywords remain as a compatibility shim.  Tracing
+        records the run as structured spans; faults degrade the run —
+        transient submission failures retry with backoff in simulated
+        time, and exhausting the retries raises
         :class:`~repro.errors.RetriesExhaustedError` for the caller's
         host fallback.
         """
-        tracer = as_tracer(tracer)
-        injector = as_injector(faults)
-        if not 0 <= split_index < plan.table_count:
-            raise PlanError(
-                f"split index {split_index} out of range for "
-                f"{plan.table_count} tables")
-        device_entries = plan.prefix(split_index)
-        host_entries = plan.suffix(split_index)
-        device_aliases = [entry.alias for entry in device_entries]
-        device_residual, host_residual = self._split_residual(
-            plan, device_aliases)
+        ctx = ExecutionContext.coerce(ctx, tracer=tracer, faults=faults)
+        tracer = ctx.sim_tracer()
+        injector = ctx.injector()
+        fragments = self._split_fragments(plan, split_index)
         with injector.attached(self.ndp.device):
-            return self._run_split_attached(
-                plan, split_index, tracer, injector, device_entries,
-                host_entries, device_aliases, device_residual,
-                host_residual)
+            prepared = self._prepare_split_attached(
+                plan, split_index, tracer, injector, *fragments)
+            try:
+                total = prepared.sim.run()
+                return prepared.build_report(
+                    total,
+                    resource_stats=prepared.sim.resource_stats(total))
+            finally:
+                prepared.release()
 
-    def _run_split_attached(self, plan, split_index, tracer, injector,
-                            device_entries, host_entries, device_aliases,
-                            device_residual, host_residual):
+    def prepare_split(self, plan, split_index, ctx=None, *, kernel,
+                      trace_label=None):
+        """Stage split ``H{split_index}`` for execution on ``kernel``.
+
+        Runs the device fragment eagerly — its pipeline buffers stay
+        *reserved* on the device until ``release()``/``finish()``, which
+        is what the concurrent scheduler's admission control arbitrates —
+        and returns a :class:`PreparedSplit` ready to ``start(at)`` on
+        the shared event loop.  Raises
+        :class:`~repro.errors.DeviceOverloadError` when the pipeline does
+        not fit the remaining device DRAM budget.
+        """
+        ctx = ExecutionContext.coerce(ctx)
+        tracer = ctx.sim_tracer()
+        injector = ctx.injector()
+        fragments = self._split_fragments(plan, split_index)
+        with injector.attached(self.ndp.device):
+            return self._prepare_split_attached(
+                plan, split_index, tracer, injector, *fragments,
+                kernel=kernel, trace_label=trace_label)
+
+    def _prepare_split_attached(self, plan, split_index, tracer, injector,
+                                device_entries, host_entries,
+                                device_aliases, device_residual,
+                                host_residual, kernel=None,
+                                trace_label=None):
         # --- device fragment -----------------------------------------
         command = self.ndp.prepare_command(plan, device_entries,
                                            device_residual)
@@ -499,57 +734,33 @@ class CooperativeExecutor:
                 self, self.timing, plan, batches, per_batch_device,
                 row_bytes, slots, setup_time, session, host_counters,
                 tracer=tracer, strategy_label=f"H{split_index}",
-                injector=injector, start_offset=admission_wait)
-            total = sim.run()
-            _final_time, host_breakdown = self.timing.charge(
-                host_counters, ExecutionLocation.HOST)
-
-            report = ExecutionReport(
-                strategy=f"H{split_index}",
-                total_time=total,
-                result=sim.result,
-                split_index=split_index,
-                host_counters=host_counters,
-                device_counters=execution.counters,
-                host_breakdown=host_breakdown,
-                device_breakdown=device_breakdown,
-                setup_time=setup_time,
-                host_wait_initial=sim.host_wait_initial,
-                host_wait_other=sim.host_wait_other,
-                transfer_time=sim.transfer_total,
-                host_processing_time=sim.host_processing,
-                device_busy_time=device_time,
-                device_stall_time=sim.device_stall,
-                batches=n_batches,
-                intermediate_rows=len(rows),
-                intermediate_bytes=len(rows) * row_bytes,
-                timeline=sim.timeline,
-                resource_stats=sim.resource_stats(total),
-                trace_metrics=tracer.metrics(),
-                notes={"pointer_cache": execution.pointer_cache,
-                       "device_aliases": device_aliases,
-                       "device_stage_rows": execution.stage_trace},
-            )
-            if injector.enabled:
-                report.retries = sim.retries
-                report.faults_injected = injector.faults_injected()
-                report.wasted_device_time = sim.wasted_time
-                report.admission_wait_time = admission_wait
-            return report
-        finally:
+                injector=injector, start_offset=admission_wait,
+                kernel=kernel, trace_label=trace_label)
+            return PreparedSplit(
+                executor=self, plan=plan, split_index=split_index,
+                execution=execution, sim=sim, device_time=device_time,
+                device_breakdown=device_breakdown, setup_time=setup_time,
+                n_batches=n_batches, row_bytes=row_bytes,
+                intermediate_rows=len(rows), host_counters=host_counters,
+                device_aliases=device_aliases,
+                admission_wait=admission_wait, injector=injector,
+                tracer=tracer)
+        except BaseException:
             self.ndp.release(execution)
+            raise
 
     # ------------------------------------------------------------------
     # Full NDP execution
     # ------------------------------------------------------------------
-    def run_full_ndp(self, plan, tracer=None, faults=None):
+    def run_full_ndp(self, plan, ctx=None, *, tracer=None, faults=None):
         """Execute the whole QEP on the device (aggregation included).
 
-        ``tracer`` records the run as structured spans and ``faults``
-        degrades the run, both like :meth:`run_split`.
+        ``ctx`` carries tracer/faults like :meth:`run_split`; the legacy
+        keywords remain as the compatibility shim.
         """
-        tracer = as_tracer(tracer)
-        injector = as_injector(faults)
+        ctx = ExecutionContext.coerce(ctx, tracer=tracer, faults=faults)
+        tracer = ctx.sim_tracer()
+        injector = ctx.injector()
         with injector.attached(self.ndp.device):
             return self._run_full_ndp_attached(plan, tracer, injector)
 

@@ -140,9 +140,23 @@ class ExecutionReport:
                 f"host_wait={self.host_wait_total * 1e3:.3f} ms, "
                 f"device_stall={self.device_stall_time * 1e3:.3f} ms")
 
+    #: Version of the :meth:`to_dict` payload layout.  Bump whenever a
+    #: key is added, removed or changes meaning; ``docs/observability.md``
+    #: documents each version.  v2: ``schema_version`` added, the
+    #: ``resilience`` block is always present (zeros for clean runs)
+    #: instead of appearing only on degraded ones.
+    SCHEMA_VERSION = 2
+
     def to_dict(self, include_rows=False, include_timeline=False):
-        """JSON-serialisable view of the report (for tooling/logs)."""
+        """JSON-serialisable view of the report (for tooling/logs).
+
+        The payload layout is stable per :attr:`SCHEMA_VERSION`: every
+        key below is always present (``resilience`` included — all-zero
+        for fault-free runs), so consumers never need existence checks;
+        only ``rows``/``columns``/``timeline`` are opt-in via the flags.
+        """
         payload = {
+            "schema_version": self.SCHEMA_VERSION,
             "strategy": self.strategy,
             "split_index": self.split_index,
             "total_time": self.total_time,
@@ -166,17 +180,13 @@ class ExecutionReport:
             "notes": {key: value for key, value in self.notes.items()
                       if isinstance(value, (str, int, float, bool, list))},
         }
-        # Only present when something was injected/degraded, so reports
-        # of fault-free runs stay byte-identical to pre-resilience ones.
-        if (self.fallback_from or self.retries or self.faults_injected
-                or self.wasted_device_time or self.admission_wait_time):
-            payload["resilience"] = {
-                "fallback_from": self.fallback_from,
-                "retries": self.retries,
-                "faults_injected": dict(self.faults_injected),
-                "wasted_device_time": self.wasted_device_time,
-                "admission_wait_time": self.admission_wait_time,
-            }
+        payload["resilience"] = {
+            "fallback_from": self.fallback_from,
+            "retries": self.retries,
+            "faults_injected": dict(self.faults_injected),
+            "wasted_device_time": self.wasted_device_time,
+            "admission_wait_time": self.admission_wait_time,
+        }
         if include_rows:
             payload["rows"] = self.result.rows
             payload["columns"] = self.result.columns

@@ -12,6 +12,7 @@ query (SQL or prebuilt plan) on any stack, returning an
 
 import enum
 
+from repro.context import ExecutionContext
 from repro.engine.cooperative import (EXEC_TRACK, HOST_RESOURCE,
                                       CooperativeExecutor)
 from repro.engine.host import HostEngine, HostEngineConfig
@@ -69,6 +70,7 @@ class StackRunner:
         self._ndp = NDPEngine(catalog, database, device, self._ndp_config)
         self._cooperative = CooperativeExecutor(
             self._host_native, self._ndp, self._timing_native)
+        self._plan_cache = {}
 
     @property
     def ndp_engine(self):
@@ -80,44 +82,62 @@ class StackRunner:
         """The native-path timing model used for NDP/hybrid runs."""
         return self._timing_native
 
-    def plan(self, sql):
-        """Build the baseline physical plan for SQL text."""
-        return build_plan(sql, self.catalog)
+    @property
+    def cooperative(self):
+        """The cooperative executor (exposed for the workload scheduler)."""
+        return self._cooperative
 
-    def run(self, query, stack, split_index=None, tracer=None, faults=None):
+    def plan(self, sql):
+        """Build the physical plan for SQL text (memoised per SQL text).
+
+        Sweeps and the concurrent scheduler re-run the same JOB queries
+        many times; parsing and join-order optimisation are pure
+        functions of the SQL and the catalog, so the built plan is cached
+        and shared.  Plans are read-only during execution — engines pull
+        live table data through the catalog at run time, so updates
+        between runs are still observed.
+        """
+        plan = self._plan_cache.get(sql)
+        if plan is None:
+            plan = build_plan(sql, self.catalog)
+            self._plan_cache[sql] = plan
+        return plan
+
+    def run(self, query, stack, split_index=None, ctx=None, *, tracer=None,
+            faults=None):
         """Execute ``query`` (SQL text or QueryPlan) on ``stack``.
 
         For ``Stack.HYBRID`` a ``split_index`` (the k of Hk) is required.
-        ``tracer`` (a :class:`repro.sim.Tracer`) records the execution as
-        structured spans for the Perfetto exporter; ``None`` disables
-        tracing at zero cost.  ``faults`` (a :class:`repro.faults.FaultPlan`)
-        degrades NDP/hybrid runs deterministically; when an offload
-        exhausts its retries the runner falls back to host-only execution
-        mid-query and the report records the degradation
-        (``fallback_from``, ``retries``, ``wasted_device_time``).
+        ``ctx`` (an :class:`~repro.context.ExecutionContext`) carries the
+        run's tracer, fault plan and retry policy; the legacy ``tracer=``
+        / ``faults=`` keywords remain as a compatibility shim.  Tracing
+        records the execution as structured spans for the Perfetto
+        exporter at zero cost when absent.  A fault plan degrades
+        NDP/hybrid runs deterministically; when an offload exhausts its
+        retries the runner falls back to host-only execution mid-query
+        and the report records the degradation (``fallback_from``,
+        ``retries``, ``wasted_device_time``).
         """
+        ctx = ExecutionContext.coerce(ctx, tracer=tracer, faults=faults)
         plan = self.plan(query) if isinstance(query, str) else query
         if stack is Stack.BLK:
             return self._traced_host(self._host_blk, plan,
-                                     "host-only(blk)", tracer)
+                                     "host-only(blk)", ctx.tracer)
         if stack is Stack.NATIVE:
             return self._traced_host(self._host_native, plan,
-                                     "host-only(native)", tracer)
+                                     "host-only(native)", ctx.tracer)
         if stack is Stack.NDP:
             try:
-                return self._cooperative.run_full_ndp(plan, tracer=tracer,
-                                                      faults=faults)
+                return self._cooperative.run_full_ndp(plan, ctx)
             except RetriesExhaustedError as failure:
-                return self._host_fallback(plan, failure, tracer)
+                return self._host_fallback(plan, failure, ctx.tracer)
         if stack is Stack.HYBRID:
             if split_index is None:
                 raise PlanError("hybrid execution needs a split_index")
             try:
-                return self._cooperative.run_split(plan, split_index,
-                                                   tracer=tracer,
-                                                   faults=faults)
+                return self._cooperative.run_split(plan, split_index, ctx)
             except RetriesExhaustedError as failure:
-                return self._host_fallback(plan, failure, tracer)
+                return self._host_fallback(plan, failure, ctx.tracer)
         raise PlanError(f"unknown stack {stack!r}")
 
     def _host_fallback(self, plan, failure, tracer):
@@ -170,7 +190,7 @@ class StackRunner:
             report.trace_metrics = tracer.metrics()
         return report
 
-    def run_all_splits(self, query, tracer_factory=None):
+    def run_all_splits(self, query, ctx_factory=None, tracer_factory=None):
         """Run every strategy: BLK, H0..H(n-1), full NDP.
 
         Returns ``{strategy_name: ExecutionReport}`` — the raw material
@@ -180,29 +200,36 @@ class StackRunner:
         repro errors (device overload and friends) are recorded as
         infeasible strategies — programming errors propagate.
 
-        ``tracer_factory(strategy_name)`` — when given — is called once
-        per strategy and must return a :class:`repro.sim.Tracer` (or
-        ``None``); the sweep layer uses it to emit one Perfetto trace per
-        strategy.
+        ``ctx_factory(strategy_name)`` — when given — is called once per
+        strategy and must return an
+        :class:`~repro.context.ExecutionContext` (or ``None``); the sweep
+        layer uses it to emit one Perfetto trace per strategy.
+        ``tracer_factory(strategy_name)`` is the legacy per-strategy
+        tracer hook, kept as a compatibility shim.
         """
-        def _tracer(name):
-            return tracer_factory(name) if tracer_factory else None
+        if ctx_factory is None and tracer_factory is not None:
+            def ctx_factory(name, _factory=tracer_factory):
+                return ExecutionContext(tracer=_factory(name))
+
+        def _ctx(name):
+            ctx = ctx_factory(name) if ctx_factory else None
+            return ExecutionContext.coerce(ctx)
 
         plan = self.plan(query) if isinstance(query, str) else query
         baseline = self._traced_host(self._host_blk, plan, "host-only",
-                                     _tracer("host-only"))
+                                     _ctx("host-only").tracer)
         reports = {"host-only": baseline}
         for k in range(plan.table_count):
             try:
                 reports[f"H{k}"] = self.run(plan, Stack.HYBRID,
                                             split_index=k,
-                                            tracer=_tracer(f"H{k}"))
+                                            ctx=_ctx(f"H{k}"))
             except ReproError as error:
                 # overload -> strategy infeasible
                 reports[f"H{k}"] = error
         try:
             reports["full-ndp"] = self.run(plan, Stack.NDP,
-                                           tracer=_tracer("full-ndp"))
+                                           ctx=_ctx("full-ndp"))
         except ReproError as error:
             reports["full-ndp"] = error
         return reports

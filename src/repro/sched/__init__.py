@@ -1,0 +1,24 @@
+"""Concurrent multi-query workload scheduling on the sim kernel.
+
+Single-query execution (PR 1-3) answers "how fast is query Q on
+strategy S?".  The paper's device-side resource reservations (17 MB per
+selection, 7 MB per join out of ~400 MB usable DRAM) only *bind* when
+multiple queries compete for the device — this package adds that
+dimension: a :class:`WorkloadScheduler` admits many JOB queries onto one
+shared simulated device + host, with admission control over the DRAM
+budget and load-aware placement through the cost model's
+:class:`~repro.core.cost_model.DeviceLoad` hook.
+
+Everything stays deterministic: arrivals are seeded processes
+(:mod:`repro.sched.arrivals`), the shared
+:class:`~repro.sim.SimContext`'s event loop breaks timestamp ties by
+insertion order, and a fixed seed reproduces the whole workload timeline
+byte for byte.
+"""
+
+from repro.sched.arrivals import (ClosedLoopArrivals, OpenLoopArrivals,
+                                  assign_clients)
+from repro.sched.scheduler import QueryJob, WorkloadResult, WorkloadScheduler
+
+__all__ = ["WorkloadScheduler", "WorkloadResult", "QueryJob",
+           "OpenLoopArrivals", "ClosedLoopArrivals", "assign_clients"]

@@ -1,0 +1,82 @@
+"""Seeded, deterministic arrival processes for workload scheduling.
+
+Two standard shapes from queueing-theory benchmarks:
+
+* **Open loop** — queries arrive on a Poisson process at a fixed offered
+  rate, independent of completions (models "heavy traffic from millions
+  of users": load does not back off when the system is slow).
+* **Closed loop** — a fixed population of clients each submits its next
+  query only after the previous one completed, plus think time (models a
+  bounded set of sessions; throughput self-regulates).
+
+Both are pure functions of their seed: the same spec always yields the
+same arrival times, which the scheduler's deterministic event loop turns
+into a byte-for-byte reproducible workload timeline.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class OpenLoopArrivals:
+    """Poisson arrivals at ``rate_qps`` offered queries per second."""
+
+    rate_qps: float
+    seed: int = 0
+
+    def schedule(self, names):
+        """``[(arrival_time, name), ...]`` for ``names`` in order."""
+        if self.rate_qps <= 0:
+            raise ReproError(f"open-loop rate must be positive, "
+                             f"got {self.rate_qps}")
+        rng = random.Random(self.seed)
+        at = 0.0
+        arrivals = []
+        for name in names:
+            at += rng.expovariate(self.rate_qps)
+            arrivals.append((at, name))
+        return arrivals
+
+
+@dataclass(frozen=True)
+class ClosedLoopArrivals:
+    """A fixed client population; each client runs its queries serially.
+
+    ``think_time`` is the pause between one query's completion and the
+    client's next submission; ``stagger`` spreads the clients' first
+    submissions over a short window so they don't all hit the scheduler
+    at the same instant (drawn from the seeded RNG, hence still
+    deterministic).
+    """
+
+    clients: int = 4
+    think_time: float = 0.0
+    stagger: float = 0.0
+    seed: int = 0
+
+    def start_times(self):
+        """Deterministic first-submission time per client."""
+        if self.clients <= 0:
+            raise ReproError(f"need at least one client, got {self.clients}")
+        rng = random.Random(self.seed)
+        if self.stagger <= 0:
+            return [0.0] * self.clients
+        return sorted(rng.uniform(0.0, self.stagger)
+                      for _ in range(self.clients))
+
+
+def assign_clients(names, clients):
+    """Round-robin partition of ``names`` over ``clients`` queues.
+
+    Returns a list of per-client lists.  Deterministic and
+    order-preserving within each client.
+    """
+    if clients <= 0:
+        raise ReproError(f"need at least one client, got {clients}")
+    queues = [[] for _ in range(clients)]
+    for index, name in enumerate(names):
+        queues[index % clients].append(name)
+    return queues

@@ -1,0 +1,416 @@
+"""The concurrent workload scheduler.
+
+One :class:`WorkloadScheduler` owns a shared
+:class:`~repro.sim.SimContext` — one clock, one event loop, one PCIe
+link, one NDP core, one host CPU — and admits many queries onto it.
+Each admitted offload runs as an interleaved
+:class:`~repro.engine.cooperative._SplitSimulation` on the shared
+resources, so queries contend for link bandwidth, device compute, host
+CPU *and* the device's token-tracked DRAM budget, exactly the regime the
+paper's per-operator buffer reservations (17 MB per selection, 7 MB per
+join) were designed for.
+
+Admission control and placement per arriving query:
+
+1. **Load-aware placement** — re-run the hybrid planner with the
+   kernel's current utilization folded into the cost model
+   (:class:`~repro.core.cost_model.DeviceLoad`): a hot device inflates
+   device-side costs, pushing marginal queries back to the host.
+2. **DRAM admission** — stage the chosen split with
+   :meth:`~repro.engine.cooperative.CooperativeExecutor.prepare_split`,
+   which reserves the pipeline's buffers.  If the reservation does not
+   fit the remaining budget the query waits in a FIFO queue until a
+   completion frees buffers (head-of-line blocking keeps admission
+   fair and deterministic); a query that would not fit even an *idle*
+   device runs on the host instead.
+3. **Host placement** — host-only queries execute eagerly (same rows as
+   serial execution by construction) and their service time serializes
+   on the shared host CPU resource.
+
+Determinism: arrivals are seeded, the event loop breaks timestamp ties
+by insertion order, per-query fault injectors draw from their own seeded
+RNG streams, and host work is priced by the same counters as serial
+runs — the same seed reproduces the whole workload timeline byte for
+byte.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.context import ExecutionContext
+from repro.core import DeviceLoad, ExecutionStrategy
+from repro.engine.stacks import Stack
+from repro.errors import DeviceOverloadError, ReproError
+from repro.sched.arrivals import ClosedLoopArrivals, assign_clients
+from repro.sim import SimContext
+from repro.workloads.job_queries import query as job_query
+
+#: Trace track for scheduler decisions (admissions, queueing, placement).
+SCHED_TRACK = "sched"
+
+
+@dataclass
+class QueryJob:
+    """One query's life cycle inside a workload."""
+
+    seq: int                    # submission order, unique per workload
+    name: str                   # JOB query name, e.g. "8c"
+    sql: str
+    arrival: float              # simulated submission time
+    client: int = None          # closed-loop client id, None for open loop
+    plan: object = None
+    decision: object = None     # HybridDecision under load, if planned
+    placement: str = None       # "host-only" | "Hk" | "host-fallback"
+    admitted_at: float = None   # when execution actually started
+    completed_at: float = None
+    report: object = None       # ExecutionReport once finished
+    error: str = None           # abandon reason, if any
+
+    @property
+    def latency(self):
+        """Submission-to-completion latency (includes queueing)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrival
+
+    @property
+    def queue_wait(self):
+        """Time between submission and admission."""
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.arrival
+
+    @property
+    def label(self):
+        """Unique display label, e.g. ``8c#3``."""
+        return f"{self.name}#{self.seq}"
+
+    def to_dict(self, include_report=False):
+        out = {
+            "seq": self.seq,
+            "name": self.name,
+            "client": self.client,
+            "arrival": self.arrival,
+            "admitted_at": self.admitted_at,
+            "completed_at": self.completed_at,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "placement": self.placement,
+            "rows": (len(self.report.result.rows)
+                     if self.report is not None and self.report.result
+                     else None),
+            "error": self.error,
+        }
+        if include_report and self.report is not None:
+            out["report"] = self.report.to_dict(include_timeline=True)
+        return out
+
+
+@dataclass
+class WorkloadResult:
+    """The outcome of one scheduled workload."""
+
+    jobs: list
+    makespan: float
+    resource_stats: dict
+    device_budget_bytes: int
+    peak_reserved_bytes: int
+    seed: int = None
+    extras: dict = field(default_factory=dict)
+
+    def completed(self):
+        """Jobs that finished (all of them, absent scheduler bugs)."""
+        return [job for job in self.jobs if job.completed_at is not None]
+
+    def latencies(self):
+        """Per-job latencies in completion order."""
+        return [job.latency for job in self.completed()]
+
+    def queries_per_second(self):
+        """Completed queries over the workload makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.completed()) / self.makespan
+
+    def placements(self):
+        """``{placement: count}`` over all jobs."""
+        counts = {}
+        for job in self.jobs:
+            counts[job.placement] = counts.get(job.placement, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self, include_reports=False):
+        """JSON-ready summary; stable key order for determinism checks."""
+        return {
+            "schema_version": 1,
+            "seed": self.seed,
+            "makespan": self.makespan,
+            "queries": len(self.jobs),
+            "queries_per_second": self.queries_per_second(),
+            "placements": self.placements(),
+            "device_budget_bytes": self.device_budget_bytes,
+            "peak_reserved_bytes": self.peak_reserved_bytes,
+            "resource_stats": self.resource_stats,
+            "jobs": [job.to_dict(include_report=include_reports)
+                     for job in self.jobs],
+            **self.extras,
+        }
+
+
+class WorkloadScheduler:
+    """Admits queries onto one shared simulated device + host."""
+
+    def __init__(self, env, ctx=None, max_inflight=None):
+        self.env = env
+        self.runner = env.runner
+        self.planner = env.planner
+        self.device = env.device
+        base = ExecutionContext.coerce(ctx)
+        #: The context scheduler-driven executions run under.
+        self.ctx = base.with_scheduler(self)
+        self.tracer = self.ctx.sim_tracer()
+        self.kernel = SimContext.fresh(tracer=self.ctx.tracer)
+        self.max_inflight = max_inflight   # None = DRAM budget only
+        self.jobs = []
+        self._queue = []           # FIFO of jobs awaiting admission
+        self._inflight = 0         # queries currently executing
+        self._device_inflight = 0  # of which hold device reservations
+        self._peak_reserved = 0
+        self._client_queues = {}   # client id -> remaining query names
+        self._client_think = 0.0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, name, at=0.0, client=None):
+        """Submit JOB query ``name`` at simulated time ``at``."""
+        job = QueryJob(seq=len(self.jobs), name=name, sql=job_query(name),
+                       arrival=at, client=client)
+        self.jobs.append(job)
+        self.kernel.loop.schedule_at(at, lambda: self._arrive(job),
+                                     label=f"arrive {job.label}")
+        return job
+
+    def submit_open_loop(self, names, arrivals):
+        """Submit ``names`` on an :class:`OpenLoopArrivals` process."""
+        for at, name in arrivals.schedule(names):
+            self.submit(name, at=at)
+
+    def submit_closed_loop(self, names, arrivals=None):
+        """Run ``names`` as a closed-loop client population.
+
+        ``arrivals`` is a :class:`ClosedLoopArrivals` spec (defaults to
+        4 clients, no think time).  Queries are partitioned round-robin;
+        each client submits its next query when the previous one
+        completes plus think time.
+        """
+        arrivals = arrivals or ClosedLoopArrivals()
+        queues = assign_clients(names, arrivals.clients)
+        starts = arrivals.start_times()
+        self._client_think = arrivals.think_time
+        for client, (start, queue) in enumerate(zip(starts, queues)):
+            if not queue:
+                continue
+            self._client_queues[client] = list(queue[1:])
+            self.submit(queue[0], at=start, client=client)
+
+    # ------------------------------------------------------------------
+    # Run to completion
+    # ------------------------------------------------------------------
+    def run(self, max_events=5_000_000):
+        """Drain the workload; returns a :class:`WorkloadResult`."""
+        self.kernel.loop.run(max_events=max_events)
+        unfinished = [job.label for job in self.jobs
+                      if job.completed_at is None]
+        if unfinished or self._queue:
+            raise ReproError(
+                f"workload drained with unfinished queries: {unfinished}")
+        makespan = self.kernel.horizon
+        return WorkloadResult(
+            jobs=self.jobs,
+            makespan=makespan,
+            resource_stats=self.kernel.resource_stats(makespan),
+            device_budget_bytes=self.device.buffer_budget,
+            peak_reserved_bytes=self._peak_reserved,
+        )
+
+    # ------------------------------------------------------------------
+    # Load measurement
+    # ------------------------------------------------------------------
+    def current_load(self):
+        """The device-pressure snapshot fed to load-aware planning.
+
+        Utilization is busy time over the horizon each resource is
+        booked until — counting work already committed to the future,
+        which is what the *next* query will actually contend with.
+        """
+        def _utilization(resource):
+            horizon = max(self.kernel.now, resource.free_at)
+            if horizon <= 0:
+                return 0.0
+            return min(1.0, resource.busy_time / horizon)
+
+        return DeviceLoad(
+            core_utilization=_utilization(self.kernel.core),
+            link_utilization=_utilization(self.kernel.link),
+            reserved_fraction=(self.device.reserved_bytes
+                               / max(1, self.device.buffer_budget)),
+            inflight=self._device_inflight,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _arrive(self, job):
+        job.plan = self.runner.plan(job.sql)
+        self._queue.append(job)
+        if self.tracer.enabled:
+            self.tracer.instant(SCHED_TRACK, f"arrive {job.label}",
+                                self.kernel.now,
+                                args={"query": job.name, "seq": job.seq,
+                                      "queued": len(self._queue)})
+        self._drain()
+
+    def _drain(self):
+        """Admit queued queries in FIFO order until one cannot start.
+
+        The head of the queue blocks admission (no overtaking): this
+        keeps admission order — and therefore the whole timeline — a
+        deterministic function of arrival order, at some utilization
+        cost versus backfilling.
+        """
+        while self._queue:
+            if (self.max_inflight is not None
+                    and self._inflight >= self.max_inflight):
+                return
+            job = self._queue[0]
+            if not self._try_start(job):
+                return
+            self._queue.pop(0)
+
+    def _try_start(self, job):
+        """Plan and start ``job`` now; False if it must keep waiting."""
+        now = self.kernel.now
+        load = self.current_load()
+        job.decision = self.planner.decide(job.plan, device_load=load)
+        if (job.decision.strategy is ExecutionStrategy.HOST_ONLY
+                or job.decision.split_index is None):
+            self._start_host(job)
+            return True
+        # FULL_NDP maps to the H(n-1) split: the whole join pipeline
+        # runs on-device and only the epilogue (aggregation/sort) runs
+        # host-side, which keeps result rows identical to serial
+        # execution on one shared code path.
+        split_index = job.decision.split_index
+        try:
+            prepared = self.runner.cooperative.prepare_split(
+                job.plan, split_index, self.ctx, kernel=self.kernel,
+                trace_label=job.label)
+        except DeviceOverloadError:
+            if self._device_inflight > 0:
+                # Buffers are held by running queries; a completion
+                # will re-drain the queue.
+                return False
+            # Would not fit even an idle device: run on the host.
+            self._start_host(job)
+            return True
+        job.placement = f"H{split_index}"
+        job.admitted_at = now
+        self._inflight += 1
+        self._device_inflight += 1
+        self._peak_reserved = max(self._peak_reserved,
+                                  self.device.reserved_bytes)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                SCHED_TRACK, f"admit {job.label}", now,
+                args={"placement": job.placement,
+                      "reserved_bytes": self.device.reserved_bytes,
+                      "core_utilization": round(load.core_utilization, 4)})
+        prepared.start(
+            now,
+            on_complete=lambda sim, job=job, prepared=prepared:
+                self._offload_done(job, prepared),
+            on_abandon=lambda sim, error, job=job, prepared=prepared:
+                self._offload_abandoned(job, prepared, error))
+        return True
+
+    # ------------------------------------------------------------------
+    # Host-side execution
+    # ------------------------------------------------------------------
+    def _start_host(self, job, fallback_from=None, wasted_time=0.0,
+                    retries=0, faults_injected=None):
+        """Run ``job`` host-only; service time serializes on the CPU.
+
+        The rows come from an eager native-path run (identical to serial
+        execution); the shared host CPU resource then prices when that
+        service time actually fits between the other queries' host work.
+        """
+        now = self.kernel.now
+        report = self.runner.run(job.plan, Stack.NATIVE)
+        service = report.total_time
+        begin, end = self.kernel.cpu.acquire(
+            now, service, label=f"host-only {job.label}")
+        job.placement = "host-fallback" if fallback_from else "host-only"
+        job.admitted_at = begin
+        job.report = report
+        self._inflight += 1
+        if fallback_from is not None:
+            report.fallback_from = fallback_from
+            report.retries = retries
+            report.faults_injected = dict(faults_injected or {})
+            report.wasted_device_time = wasted_time
+        if self.tracer.enabled:
+            self.tracer.span(
+                f"exec/{job.label}", job.placement, begin, end,
+                category="execution",
+                args={"query": job.name, "service_time": service,
+                      "strategy": report.strategy})
+        self.kernel.loop.schedule_at(
+            end, lambda: self._host_done(job, end),
+            label=f"complete {job.label}")
+
+    def _host_done(self, job, end):
+        job.report.total_time = end - job.arrival
+        self._finish(job, end)
+
+    # ------------------------------------------------------------------
+    # Completion paths
+    # ------------------------------------------------------------------
+    def _offload_done(self, job, prepared):
+        now = self.kernel.now
+        job.report = prepared.finish(total_time=now - job.arrival)
+        self._device_inflight -= 1
+        self._finish(job, now)
+
+    def _offload_abandoned(self, job, prepared, error):
+        """Mid-workload graceful degradation: re-run on the host.
+
+        Mirrors :meth:`StackRunner._host_fallback` — the wasted device
+        attempt is accounted on the degraded report — but the fallback
+        executes on the *shared* host CPU at the simulated time the
+        offload gave up, so the rest of the workload feels it.
+        """
+        now = self.kernel.now
+        prepared.release()
+        self._device_inflight -= 1
+        self._inflight -= 1      # _start_host re-increments
+        job.error = str(error)
+        wasted = max(0.0, now - job.arrival)
+        self._start_host(job, fallback_from=error.strategy,
+                         wasted_time=wasted, retries=error.retries,
+                         faults_injected=error.faults_injected)
+        self._drain()
+
+    def _finish(self, job, now):
+        job.completed_at = now
+        self._inflight -= 1
+        if self.tracer.enabled:
+            self.tracer.instant(SCHED_TRACK, f"finish {job.label}", now,
+                                args={"placement": job.placement,
+                                      "latency": round(job.latency, 6)})
+        # Closed loop: this job's client submits its next query.
+        if job.client is not None:
+            remaining = self._client_queues.get(job.client)
+            if remaining:
+                self.submit(remaining.pop(0), at=now + self._client_think,
+                            client=job.client)
+        self._drain()

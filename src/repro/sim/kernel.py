@@ -1,0 +1,69 @@
+"""The shared simulation kernel: one clock, one loop, one resource set.
+
+A :class:`SimContext` bundles the handles every simulated execution
+needs — the :class:`~repro.sim.SimClock`, the
+:class:`~repro.sim.EventLoop`, and the three contended
+:class:`~repro.sim.BusyResource`\\ s (PCIe link, NDP core, host CPU).
+Single-query runs build a private context implicitly; the concurrent
+scheduler (:mod:`repro.sched`) builds one explicitly and admits many
+queries onto it, so cross-query contention shows up as queueing delay on
+the shared resources instead of being invisible.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+from repro.sim.resources import BusyResource
+from repro.sim.trace import as_tracer
+
+#: Resource names used in ``ExecutionReport.resource_stats`` / timelines.
+LINK_RESOURCE = "pcie_link"
+DEVICE_RESOURCE = "device_core1"
+HOST_RESOURCE = "host_cpu"
+
+
+@dataclass
+class SimContext:
+    """One simulated machine: clock, event loop, and its busy resources."""
+
+    clock: SimClock
+    loop: EventLoop
+    link: BusyResource
+    core: BusyResource
+    cpu: BusyResource
+
+    @classmethod
+    def fresh(cls, tracer=None):
+        """A new kernel at time zero with the canonical resource names."""
+        tracer = as_tracer(tracer)
+        clock = SimClock()
+        return cls(
+            clock=clock,
+            loop=EventLoop(clock, tracer=tracer),
+            link=BusyResource(LINK_RESOURCE, tracer=tracer),
+            core=BusyResource(DEVICE_RESOURCE, tracer=tracer),
+            cpu=BusyResource(HOST_RESOURCE, tracer=tracer),
+        )
+
+    @property
+    def now(self):
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def horizon(self):
+        """Latest simulated instant any resource is booked until."""
+        return max(self.clock.now, self.link.free_at, self.core.free_at,
+                   self.cpu.free_at)
+
+    def resources(self):
+        """The busy resources in canonical (link, core, cpu) order."""
+        return (self.link, self.core, self.cpu)
+
+    def resource_stats(self, horizon=None):
+        """``{name: stats}`` for all resources over ``[0, horizon]``."""
+        if horizon is None:
+            horizon = self.horizon
+        return {resource.name: resource.stats(horizon)
+                for resource in self.resources()}

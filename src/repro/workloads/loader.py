@@ -71,14 +71,15 @@ class Environment:
         """Data bytes across all tables (excluding indexes)."""
         return self.catalog.total_bytes()
 
-    def run(self, query, stack, split_index=None, tracer=None, faults=None):
+    def run(self, query, stack, split_index=None, ctx=None, *, tracer=None,
+            faults=None):
         """Shortcut to :meth:`StackRunner.run`."""
         return self.runner.run(query, stack, split_index=split_index,
-                               tracer=tracer, faults=faults)
+                               ctx=ctx, tracer=tracer, faults=faults)
 
-    def decide(self, query):
+    def decide(self, query, device_load=None):
         """Shortcut to :meth:`HybridPlanner.decide`."""
-        return self.planner.decide(query)
+        return self.planner.decide(query, device_load=device_load)
 
 
 def _lsm_config_for(spec):

@@ -1,0 +1,118 @@
+"""Tests for the ExecutionContext API and its compatibility shim."""
+
+import dataclasses
+
+import pytest
+
+from repro.context import NULL_CONTEXT, ExecutionContext
+from repro.engine.stacks import Stack
+from repro.errors import ReproError
+from repro.faults import (NULL_INJECTOR, CommandFaultModel, FaultPlan,
+                          RetryPolicy)
+from repro.sim import Tracer
+from repro.workloads.job_queries import query
+
+QUERY = "1a"
+
+
+class TestCoerce:
+    def test_no_arguments_is_null_context(self):
+        assert ExecutionContext.coerce() is NULL_CONTEXT
+        assert ExecutionContext.coerce(None) is NULL_CONTEXT
+
+    def test_legacy_kwargs_build_a_context(self):
+        tracer = Tracer()
+        faults = FaultPlan(seed=1)
+        ctx = ExecutionContext.coerce(tracer=tracer, faults=faults)
+        assert ctx.tracer is tracer
+        assert ctx.faults is faults
+
+    def test_context_passes_through(self):
+        ctx = ExecutionContext(tracer=Tracer())
+        assert ExecutionContext.coerce(ctx) is ctx
+
+    def test_context_plus_kwargs_is_ambiguous(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ReproError):
+            ExecutionContext.coerce(ctx, tracer=Tracer())
+        with pytest.raises(ReproError):
+            ExecutionContext.coerce(ctx, faults=FaultPlan(seed=1))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ReproError):
+            ExecutionContext.coerce(Tracer())   # a tracer is not a ctx
+
+
+class TestContext:
+    def test_frozen(self):
+        ctx = ExecutionContext()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.tracer = Tracer()
+
+    def test_null_context_collaborators(self):
+        assert not NULL_CONTEXT.sim_tracer().enabled
+        assert NULL_CONTEXT.injector() is NULL_INJECTOR
+
+    def test_fault_plan_yields_fresh_injector_per_call(self):
+        ctx = ExecutionContext(faults=FaultPlan(
+            seed=3, commands=CommandFaultModel(probability=0.5)))
+        first = ctx.injector()
+        second = ctx.injector()
+        assert first is not second
+        assert first.enabled and second.enabled
+
+    def test_retry_policy_overrides_plan_policy(self):
+        policy = RetryPolicy(max_retries=9)
+        ctx = ExecutionContext(
+            faults=FaultPlan(seed=3,
+                             commands=CommandFaultModel(probability=0.5)),
+            retry_policy=policy)
+        assert ctx.injector().retry.max_retries == 9
+
+    def test_with_scheduler_copies(self):
+        ctx = ExecutionContext(tracer=Tracer())
+        marker = object()
+        bound = ctx.with_scheduler(marker)
+        assert bound.scheduler is marker
+        assert bound.tracer is ctx.tracer
+        assert ctx.scheduler is None
+
+
+class TestRunPaths:
+    """ctx= and the legacy kwargs must drive runs identically."""
+
+    def test_ctx_equals_legacy_tracer_kwarg(self, job_env):
+        plan = job_env.runner.plan(query(QUERY))
+        legacy_tracer = Tracer()
+        ctx_tracer = Tracer()
+        legacy = job_env.run(plan, Stack.HYBRID, split_index=0,
+                             tracer=legacy_tracer)
+        via_ctx = job_env.run(plan, Stack.HYBRID, split_index=0,
+                              ctx=ExecutionContext(tracer=ctx_tracer))
+        assert legacy.to_dict() == via_ctx.to_dict()
+        assert legacy_tracer.to_chrome() == ctx_tracer.to_chrome()
+
+    def test_ctx_plus_kwargs_rejected_at_run(self, job_env):
+        plan = job_env.runner.plan(query(QUERY))
+        with pytest.raises(ReproError):
+            job_env.run(plan, Stack.HYBRID, split_index=0,
+                        ctx=ExecutionContext(), tracer=Tracer())
+
+    def test_run_all_splits_ctx_factory(self, job_env):
+        tracers = {}
+
+        def ctx_factory(name):
+            tracers[name] = Tracer()
+            return ExecutionContext(tracer=tracers[name])
+
+        reports = job_env.runner.run_all_splits(query(QUERY),
+                                                ctx_factory=ctx_factory)
+        assert "host-only" in reports and "full-ndp" in reports
+        traced = [name for name, tracer in tracers.items()
+                  if tracer.metrics()["spans"] > 0
+                  and not isinstance(reports[name], Exception)]
+        assert traced   # at least the feasible strategies traced spans
+
+    def test_plan_cache_returns_same_object(self, job_env):
+        sql = query(QUERY)
+        assert job_env.runner.plan(sql) is job_env.runner.plan(sql)

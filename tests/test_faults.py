@@ -73,7 +73,12 @@ class TestZeroCostOff:
         nulled = job_env.run(plan, Stack.HYBRID, split_index=split,
                              faults=NULL_PLAN)
         assert _report_dict(bare) == _report_dict(nulled)
-        assert "resilience" not in _report_dict(bare)
+        # Schema v2: the resilience block is always present; a clean run
+        # reports it as all-zero.
+        resilience = _report_dict(bare)["resilience"]
+        assert resilience["retries"] == 0
+        assert resilience["fallback_from"] is None
+        assert resilience["faults_injected"] == {}
 
     def test_disabled_plan_full_ndp_identical(self, job_env):
         plan = job_env.runner.plan(query(QUERY))
