@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Multi-device scaling benchmark: scatter-gather JOB over a cluster.
+
+    python scripts/cluster_job_matrix.py [--scale S] [--seed N] \\
+        [--workload-seed N] [--queries 1a 8c ...] [--devices 1 2 4 8] \\
+        [--partitioner range|hash] [--smoke] \\
+        [--output BENCH_cluster.json]
+
+Sweeps device counts over a JOB query mix: each query scatter-gathers
+across the whole cluster, and the mix also replays as a closed-loop
+scheduled workload per count.  ``--smoke`` shrinks the sweep for CI (the
+given ``--devices``, 3 queries, 2 clients).  The run is verified
+deterministic before writing: the sweep executes twice with the same
+seeds and the script exits non-zero if the two summaries differ, so CI
+can gate on reproducibility.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.cluster import DEFAULT_QUERIES, cluster_matrix
+from repro.workloads.loader import build_environment
+
+#: Queries the --smoke sweep keeps: selection-, join- and
+#: aggregate-heavy representatives.
+SMOKE_QUERIES = ["1a", "3b", "8c"]
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="multi-device scatter-gather scaling benchmark")
+    parser.add_argument("--scale", type=float, default=0.0002,
+                        help="dataset scale factor (default 0.0002)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="dataset seed (default 7)")
+    parser.add_argument("--workload-seed", type=int, default=0,
+                        help="partitioner/arrival seed (default 0)")
+    parser.add_argument("--queries", nargs="*", default=None,
+                        help=f"JOB query mix (default {DEFAULT_QUERIES})")
+    parser.add_argument("--devices", nargs="*", type=int,
+                        default=[1, 2, 4, 8],
+                        help="device counts to sweep (default 1 2 4 8)")
+    parser.add_argument("--partitioner", choices=["range", "hash"],
+                        default="range",
+                        help="driving-table partitioning layout")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="closed-loop clients per workload cell")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode: 3 queries, 2 clients")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk workload cache directory")
+    parser.add_argument("--output", default="BENCH_cluster.json",
+                        help="output JSON path")
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    queries = args.queries or DEFAULT_QUERIES
+    clients = args.clients
+    if args.smoke:
+        queries = args.queries or SMOKE_QUERIES
+        clients = 2
+
+    start = time.time()
+    env = build_environment(scale=args.scale, seed=args.seed,
+                            workload_cache_dir=args.cache_dir)
+    print(f"environment: scale={args.scale}, {env.total_rows:,} rows "
+          f"({time.time() - start:.0f}s)", flush=True)
+
+    def on_result(n_devices, summary):
+        latency = summary["scatter_gather"]["latency"]
+        workload = summary["workload"]
+        print(f"{n_devices:>2} device(s): "
+              f"p50={latency['p50'] * 1e3:7.2f} ms  "
+              f"p95={latency['p95'] * 1e3:7.2f} ms  "
+              f"workload makespan={workload['makespan'] * 1e3:8.2f} ms  "
+              f"qps={workload['queries_per_second']:8.1f}", flush=True)
+
+    def run_matrix(callback):
+        return cluster_matrix(
+            env, device_counts=tuple(args.devices), query_names=queries,
+            partitioner=args.partitioner, seed=args.workload_seed,
+            clients=clients, on_result=callback)
+
+    matrix = run_matrix(on_result)
+    print("re-running to verify determinism...", flush=True)
+    replay = run_matrix(lambda n_devices, summary: None)
+    deterministic = (json.dumps(matrix, sort_keys=True)
+                     == json.dumps(replay, sort_keys=True))
+
+    payload = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "workload_seed": args.workload_seed,
+        "partitioner": args.partitioner,
+        "queries": queries,
+        "devices": args.devices,
+        "smoke": args.smoke,
+        "deterministic": deterministic,
+        "matrix": matrix,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+    speedups = {n: round(cell["speedup"]["workload"], 3)
+                for n, cell in matrix["cells"].items()}
+    print(f"\nworkload speedups vs 1 device: {speedups}")
+    print(f"deterministic={deterministic}; total "
+          f"{time.time() - start:.0f}s; results in {args.output}")
+    return 0 if deterministic else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

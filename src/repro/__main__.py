@@ -238,6 +238,40 @@ def cmd_bench_concurrent(args):
     return 0
 
 
+def cmd_bench_cluster(args):
+    from repro.bench.cluster import DEFAULT_QUERIES, cluster_matrix
+    env = _build_env(args)
+    matrix = cluster_matrix(
+        env, device_counts=tuple(args.devices),
+        query_names=args.queries or DEFAULT_QUERIES,
+        partitioner=args.partitioner, seed=args.workload_seed,
+        clients=args.clients)
+    rows = []
+    for n_devices, summary in matrix["cells"].items():
+        latency = summary["scatter_gather"]["latency"]
+        speedup = summary["speedup"]
+        rows.append([
+            n_devices,
+            ms(latency["p50"]),
+            ms(latency["p95"]),
+            ms(summary["scatter_gather"]["total_time"]),
+            f"{speedup['scatter_gather']:.2f}x",
+            ms(summary["workload"]["makespan"]),
+            f"{speedup['workload']:.2f}x",
+        ])
+    print(format_table(
+        ["devices", "p50", "p95", "sweep total", "speedup",
+         "workload makespan", "speedup"], rows,
+        title=f"cluster scaling ({args.partitioner} partitioning, "
+              f"seed {args.workload_seed})"))
+    if args.output:
+        import json
+        with open(args.output, "w") as handle:
+            json.dump(matrix, handle, indent=1)
+        print(f"summary written to {args.output}")
+    return 0
+
+
 def cmd_experiment(args):
     env = _build_env(args)
     result = _EXPERIMENTS[args.name](env)
@@ -348,6 +382,27 @@ def build_parser():
     bench.add_argument("--output", default=None,
                        help="also write the summary JSON to this path")
     bench.set_defaults(func=cmd_bench_concurrent)
+
+    bench_cluster = sub.add_parser(
+        "bench-cluster", parents=[execution],
+        help="sweep device counts with scatter-gather execution")
+    bench_cluster.add_argument("queries", nargs="*",
+                               help="JOB query mix (default: the "
+                                    "benchmark mix)")
+    bench_cluster.add_argument("--devices", type=int, nargs="+",
+                               default=[1, 2, 4, 8],
+                               help="device counts to sweep "
+                                    "(default 1 2 4 8)")
+    bench_cluster.add_argument("--partitioner",
+                               choices=["range", "hash"], default="range",
+                               help="driving-table partitioning layout")
+    bench_cluster.add_argument("--clients", type=int, default=4,
+                               help="closed-loop clients for the workload "
+                                    "cell (default 4)")
+    bench_cluster.add_argument("--output", default=None,
+                               help="also write the matrix JSON to this "
+                                    "path")
+    bench_cluster.set_defaults(func=cmd_bench_cluster)
 
     experiment = sub.add_parser("experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -7,6 +7,7 @@ them as the paper-style tables the benchmarks print.
 
 from repro.bench.chaos import (SCENARIOS, chaos_matrix, run_chaos,
                                scenario_plan)
+from repro.bench.cluster import cluster_matrix, run_cluster_benchmark
 from repro.bench.concurrency import (concurrency_matrix, percentile,
                                      run_concurrency_benchmark)
 from repro.bench.experiments import (
@@ -37,6 +38,8 @@ __all__ = [
     "chaos_matrix",
     "run_concurrency_benchmark",
     "concurrency_matrix",
+    "run_cluster_benchmark",
+    "cluster_matrix",
     "percentile",
     "exp_intro_fig2",
     "exp1_stacks_fig11",

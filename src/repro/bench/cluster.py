@@ -1,0 +1,141 @@
+"""Multi-device scaling benchmark.
+
+Sweeps device counts (default 1/2/4/8) over a JOB query mix, twice per
+count:
+
+* **scatter-gather** — each query runs once across the whole cluster
+  (:class:`~repro.cluster.ScatterGatherExecutor`); the summary reports
+  the per-query latency distribution, the speedup against the same
+  sweep's single-device cell, and per-device resource utilization.
+* **workload** — the same mix runs as a closed-loop workload through
+  :class:`~repro.sched.WorkloadScheduler` in cluster mode (whole-query
+  least-loaded placement), reporting makespan and throughput.
+
+Everything is seeded and simulated: a summary is a deterministic
+function of ``(environment, query mix, partitioner, seed)``, so two
+runs serialize to identical JSON — the self-check the CI cluster smoke
+job performs before uploading ``BENCH_cluster.json``.
+"""
+
+from repro.bench.concurrency import percentile
+from repro.cluster import DeviceCluster
+from repro.context import ExecutionContext
+from repro.sched import ClosedLoopArrivals, WorkloadScheduler
+from repro.storage.topology import PartitionSpec
+from repro.workloads.job_queries import query as job_query
+
+#: Same placement-diverse JOB mix the concurrency benchmark uses.
+DEFAULT_QUERIES = ["1a", "2a", "3b", "4a", "6a", "8c", "16b", "17e"]
+
+#: Device counts of the scaling sweep.
+DEFAULT_DEVICE_COUNTS = (1, 2, 4, 8)
+
+
+def _distribution(values):
+    return {
+        "p50": percentile(values, 0.50),
+        "p95": percentile(values, 0.95),
+        "p99": percentile(values, 0.99),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
+def run_cluster_benchmark(env, n_devices, query_names=None,
+                          partitioner="range", seed=0, clients=4,
+                          ctx=None):
+    """One cell of the scaling sweep; returns a JSON-ready summary.
+
+    Builds an ``n_devices`` cluster over ``env``'s mirrored store with a
+    seeded ``partitioner`` (``"range"``/``"hash"``), scatter-gathers
+    every query once, then replays the mix as a closed-loop scheduled
+    workload on the same cluster.
+    """
+    ctx = ExecutionContext.coerce(ctx)
+    names = list(query_names or DEFAULT_QUERIES)
+    spec = PartitionSpec(kind=partitioner, seed=seed)
+    cluster = DeviceCluster(env, n_devices=n_devices, partitioner=spec)
+
+    queries = []
+    for name in names:
+        report = cluster.run(job_query(name), ctx=ctx)
+        placements = {}
+        for part in report.cluster["partitions"]:
+            key = part["placement"]
+            placements[key] = placements.get(key, 0) + 1
+        queries.append({
+            "name": name,
+            "total_time": report.total_time,
+            "rows": len(report.result.rows),
+            "strategy": report.strategy,
+            "placements": dict(sorted(placements.items())),
+            "device_utilization": {
+                resource: stats["utilization"]
+                for resource, stats in report.resource_stats.items()},
+        })
+    latencies = [entry["total_time"] for entry in queries]
+
+    scheduler = WorkloadScheduler(env, ctx=ctx, cluster=cluster)
+    scheduler.submit_closed_loop(
+        names, ClosedLoopArrivals(clients=clients, seed=seed))
+    workload = scheduler.run()
+    workload.seed = seed
+
+    return {
+        "schema_version": 1,
+        "n_devices": n_devices,
+        "seed": seed,
+        "partitioner": cluster.partitioner.describe(),
+        "query_names": names,
+        "scatter_gather": {
+            "latency": _distribution(latencies),
+            "total_time": sum(latencies),
+            "queries": queries,
+        },
+        "workload": {
+            "clients": clients,
+            "makespan": workload.makespan,
+            "queries_per_second": workload.queries_per_second(),
+            "placements": workload.placements(),
+            "resource_utilization": {
+                name: stats["utilization"]
+                for name, stats in workload.resource_stats.items()},
+        },
+    }
+
+
+def cluster_matrix(env, device_counts=DEFAULT_DEVICE_COUNTS,
+                   query_names=None, partitioner="range", seed=0,
+                   clients=4, on_result=None):
+    """The scaling sweep: one summary per device count, plus speedups.
+
+    Speedup is the single-device cell's total scatter-gather time (or
+    workload makespan) over each cell's own — >1 means the cluster
+    helped.  ``on_result(n_devices, summary)`` fires per completed cell.
+    """
+    cells = {}
+    for n_devices in device_counts:
+        summary = run_cluster_benchmark(
+            env, n_devices, query_names=query_names,
+            partitioner=partitioner, seed=seed, clients=clients)
+        cells[n_devices] = summary
+        if on_result is not None:
+            on_result(n_devices, summary)
+    baseline = cells.get(1) or cells[min(cells)]
+    base_total = baseline["scatter_gather"]["total_time"]
+    base_makespan = baseline["workload"]["makespan"]
+    for summary in cells.values():
+        own_total = summary["scatter_gather"]["total_time"]
+        own_makespan = summary["workload"]["makespan"]
+        summary["speedup"] = {
+            "scatter_gather": (base_total / own_total
+                               if own_total > 0 else None),
+            "workload": (base_makespan / own_makespan
+                         if own_makespan > 0 else None),
+        }
+    return {
+        "partitioner": partitioner,
+        "seed": seed,
+        "device_counts": list(device_counts),
+        "cells": cells,
+    }

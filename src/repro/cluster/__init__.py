@@ -1,0 +1,16 @@
+"""Multi-device scale-out (scatter-gather cooperative execution).
+
+One host drives ``n`` smart-storage devices over mirrored storage: a
+seed-deterministic :class:`Partitioner` splits each query's driving-scan
+responsibility into per-device shards, every device runs its shard's
+hybridNDP split concurrently on one shared simulation kernel, and the
+host merges the partial results with a single finalize.  See
+``docs/cluster.md``.
+"""
+
+from repro.cluster.cluster import (ClusterFaultPlan, DeviceCluster,
+                                   ScatterGatherExecutor)
+from repro.cluster.partition import Partitioner, TableShard
+
+__all__ = ["DeviceCluster", "ScatterGatherExecutor", "ClusterFaultPlan",
+           "Partitioner", "TableShard"]

@@ -1,0 +1,500 @@
+"""Multi-device scale-out: scatter-gather cooperative execution.
+
+A :class:`DeviceCluster` attaches ``n`` smart-storage devices to one
+host over *mirrored* storage (one flash store, one LSM database, one
+catalog — see :class:`repro.storage.topology.Topology`).  The
+:class:`ScatterGatherExecutor` runs one query across all of them:
+
+1. **Scatter** — a seed-deterministic
+   :class:`~repro.cluster.partition.Partitioner` splits the driving
+   table's scan responsibility into per-device shards; each device runs
+   the hybridNDP split the :class:`~repro.core.planner.HybridPlanner`
+   picked for it, restricted to its shard, as a staged
+   :class:`~repro.engine.cooperative._SplitSimulation` on one shared
+   :class:`~repro.sim.ClusterSimContext` (one clock, one host CPU, one
+   PCIe link + NDP core per device).
+2. **Gather** — partitions complete on the shared timeline; the host
+   concatenates their pre-finalize joined rows in partition order and
+   runs the aggregation/sort epilogue *once* on the shared CPU.
+
+Merge correctness: because the driving shards are disjoint and cover the
+table, and inner probes read the full mirrored data set, the per-device
+joined-row sets are disjoint and their union equals the serial result's
+pre-finalize rows — so one final epilogue is exact for every aggregate,
+including AVG (docs/cluster.md has the full argument).
+
+Partition placement is whole-partition: a partition whose planner
+decision is host-only (or whose device pipeline cannot be reserved) runs
+its shard on the host's native path, serialized on the shared CPU.  A
+device whose offload exhausts its retries (fault injection) is marked
+failed and its partition is re-executed on the least-loaded surviving
+device, falling back to the host when none remain.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.context import ExecutionContext
+from repro.core import DeviceLoad, ExecutionStrategy
+from repro.cluster.partition import Partitioner
+from repro.engine.cooperative import CooperativeExecutor
+from repro.engine.counters import WorkCounters
+from repro.engine.ndp import NDPEngine
+from repro.engine.results import ExecutionReport, TimelinePhase
+from repro.engine.timing import ExecutionLocation
+from repro.errors import DeviceOverloadError, ReproError
+from repro.faults import FAULTS_TRACK
+from repro.sim import HOST_RESOURCE, ClusterSimContext
+from repro.storage.topology import Topology
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """Per-device fault plans for a cluster run.
+
+    ``plans`` maps device index to a :class:`~repro.faults.FaultPlan`;
+    devices without an entry get ``default`` (``None`` = no faults).
+    Passing a plain ``FaultPlan`` as ``ExecutionContext.faults`` instead
+    applies it to every device (each device still draws its own
+    injector, hence its own RNG stream).
+    """
+
+    plans: dict = field(default_factory=dict)
+    default: object = None
+
+    def plan_for(self, index):
+        """The fault plan device ``index`` runs under (may be None)."""
+        return self.plans.get(index, self.default)
+
+
+def _add_counters(total, extra):
+    for name, value in extra.as_dict().items():
+        setattr(total, name, getattr(total, name) + value)
+    return total
+
+
+class _Partition:
+    """One shard's execution state inside a scatter-gather run."""
+
+    def __init__(self, index, shard, split_index):
+        self.index = index
+        self.shard = shard
+        self.split_index = split_index
+        self.placement = None       # "Hk@dJ" | "host" | "host-fallback" | "empty"
+        self.device = None          # device index, None for host/empty
+        self.attempted = []         # device indexes that failed this shard
+        self.rows = None            # pre-finalize joined rows
+        self.completed_at = None
+        self.retries = 0
+        self.host_counters = None
+        self.device_counters = None
+        self.timeline = ()
+        self.batches = 0
+        self.intermediate_rows = 0
+        self.intermediate_bytes = 0
+        self.setup_time = 0.0
+        self.host_wait_initial = 0.0
+        self.host_wait_other = 0.0
+        self.transfer_time = 0.0
+        self.host_processing = 0.0
+        self.device_busy_time = 0.0
+        self.device_stall_time = 0.0
+        self.wasted_time = 0.0
+
+    def describe(self):
+        return {
+            "partition": self.index,
+            "placement": self.placement,
+            "device": self.device,
+            "shard": self.shard.describe() if self.shard is not None
+            else "all",
+            "rows": len(self.rows) if self.rows is not None else None,
+            "completed_at": self.completed_at,
+            "retries": self.retries,
+            "attempted_devices": list(self.attempted),
+        }
+
+
+class DeviceCluster:
+    """``n`` smart-storage devices over one environment's mirrored store.
+
+    Built from an :class:`~repro.workloads.loader.Environment` plus a
+    cluster :class:`~repro.storage.topology.Topology` (constructed here
+    when not given): every device shares the environment's flash,
+    database and catalog but owns its PCIe link, NDP core and DRAM
+    budget, so each gets its own :class:`~repro.engine.ndp.NDPEngine`
+    and :class:`~repro.engine.cooperative.CooperativeExecutor` around
+    the shared host engine and timing model.
+    """
+
+    def __init__(self, env, n_devices=None, partitioner=None,
+                 topology=None):
+        if topology is None:
+            if n_devices is None:
+                raise ReproError(
+                    "DeviceCluster needs n_devices or a cluster topology")
+            topology = Topology.cluster(
+                n_devices, partitioner=partitioner,
+                device_spec=env.device.spec, host_spec=env.runner.host_spec,
+                flash=env.device.flash, link=env.device.link)
+        elif n_devices is not None and topology.n_devices != n_devices:
+            raise ReproError(
+                f"topology has {topology.n_devices} devices, "
+                f"n_devices={n_devices} disagrees")
+        self.env = env
+        self.topology = topology
+        self.devices = topology.devices
+        spec = topology.partitioning
+        if spec is None:
+            spec = Topology.cluster(topology.n_devices).partitioning
+        self.partitioner = Partitioner.fit(
+            spec.kind, topology.n_devices, env.catalog, seed=spec.seed)
+        host = env.runner.cooperative.host
+        timing = env.runner.timing
+        ndp_config = env.runner.ndp_engine.config
+        self.executors = [
+            CooperativeExecutor(
+                host,
+                NDPEngine(env.catalog, env.database, device, ndp_config),
+                timing)
+            for device in self.devices
+        ]
+        self.host = host
+        self.timing = timing
+        self.executor = ScatterGatherExecutor(self)
+
+    @property
+    def n_devices(self):
+        """How many devices the cluster has."""
+        return len(self.devices)
+
+    def run(self, query, ctx=None, split_index=None):
+        """Scatter-gather ``query`` across the cluster (see executor)."""
+        return self.executor.run(query, ctx=ctx, split_index=split_index)
+
+    def device_load(self, kernel, index):
+        """Device ``index``'s :class:`~repro.core.DeviceLoad` snapshot."""
+        def _utilization(resource):
+            horizon = max(kernel.now, resource.free_at)
+            if horizon <= 0:
+                return 0.0
+            return min(1.0, resource.busy_time / horizon)
+
+        device = self.devices[index]
+        return DeviceLoad(
+            core_utilization=_utilization(kernel.cores[index]),
+            link_utilization=_utilization(kernel.links[index]),
+            reserved_fraction=(device.reserved_bytes
+                               / max(1, device.buffer_budget)),
+        )
+
+
+class _RunState:
+    """Mutable state of one scatter-gather run."""
+
+    def __init__(self, plan, ctx, kernel, tracer, partitions):
+        self.plan = plan
+        self.ctx = ctx
+        self.kernel = kernel
+        self.tracer = tracer
+        self.partitions = partitions
+        self.failed_devices = set()
+        self.failures = []           # audit of abandoned offloads
+
+
+class ScatterGatherExecutor:
+    """Runs one query as concurrent per-shard splits plus a host merge."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, query, ctx=None, split_index=None):
+        """Execute ``query`` (SQL or plan) across the whole cluster.
+
+        Returns a merged :class:`~repro.engine.results.ExecutionReport`
+        whose rows are identical to single-device serial execution;
+        ``report.cluster`` records the per-partition placements,
+        ``report.resource_stats`` has one link/core pair per device.
+        ``split_index`` pins every device partition to Hk; by default
+        each partition runs the planner's load-aware choice.
+        """
+        ctx = ExecutionContext.coerce(ctx)
+        cluster = self.cluster
+        env = cluster.env
+        plan = env.runner.plan(query) if isinstance(query, str) else query
+        n = cluster.n_devices
+        kernel = ClusterSimContext.fresh(n, tracer=ctx.tracer)
+        tracer = ctx.sim_tracer()
+
+        driving = plan.entries[0].table_name
+        if n == 1:
+            # Single device: no shard restriction at all, so the device
+            # fragment is byte-identical to the serial hybrid path.
+            shards = [None]
+        else:
+            shards = cluster.partitioner.shards(driving)
+
+        partitions = []
+        for index, shard in enumerate(shards):
+            split = self._partition_split(plan, kernel, index, split_index)
+            partitions.append(_Partition(index, shard, split))
+        state = _RunState(plan, ctx, kernel, tracer, partitions)
+
+        for part in partitions:
+            if part.shard is not None and part.shard.is_empty:
+                part.placement = "empty"
+                part.rows = []
+                part.completed_at = 0.0
+                continue
+            if part.split_index is None:
+                self._start_host(state, part, at=0.0)
+            else:
+                self._start_device(state, part, part.index, at=0.0)
+
+        kernel.loop.run()
+        unfinished = [part.index for part in partitions
+                      if part.rows is None]
+        if unfinished:
+            raise ReproError(
+                f"scatter-gather drained with unfinished partitions: "
+                f"{unfinished}")
+        return self._merge(state)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _partition_split(self, plan, kernel, index, split_index):
+        """The Hk each partition runs, or None for host placement."""
+        if split_index is not None:
+            return min(split_index, plan.table_count - 1)
+        load = self.cluster.device_load(kernel, index)
+        decision = self.cluster.env.planner.decide(plan, device_load=load)
+        if decision.strategy is ExecutionStrategy.HOST_ONLY:
+            return None
+        split = decision.split_index
+        if decision.strategy is ExecutionStrategy.FULL_NDP or split is None:
+            # Full NDP would finalize on-device; the cluster must merge
+            # partitions before finalizing, so run the deepest hybrid
+            # split instead (whole join pipeline on-device, epilogue
+            # deferred to the gather).
+            split = plan.table_count - 1
+        return min(split, plan.table_count - 1)
+
+    def _ctx_for(self, ctx, device_index):
+        """The context device ``device_index`` executes under."""
+        if isinstance(ctx.faults, ClusterFaultPlan):
+            return replace(ctx, faults=ctx.faults.plan_for(device_index))
+        return ctx
+
+    def _start_device(self, state, part, device_index, at):
+        """Stage and start ``part`` on device ``device_index``."""
+        executor = self.cluster.executors[device_index]
+        ctx = self._ctx_for(state.ctx, device_index)
+        label = (f"p{part.index}" if device_index == part.index
+                 else f"p{part.index}@d{device_index}")
+        try:
+            prepared = executor.prepare_split(
+                state.plan, part.split_index, ctx,
+                kernel=state.kernel.view(device_index),
+                trace_label=f"d{device_index}/{label}",
+                shard=part.shard, finalize=False)
+        except DeviceOverloadError:
+            # The shard's pipeline does not fit this device's DRAM
+            # budget; the shard runs on the host instead.
+            self._start_host(state, part, at=at)
+            return
+        part.device = device_index
+        part.placement = f"H{part.split_index}@d{device_index}"
+        prepared.start(
+            at,
+            on_complete=lambda sim, part=part, prepared=prepared:
+                self._device_done(state, part, prepared, sim),
+            on_abandon=lambda sim, error, part=part, prepared=prepared:
+                self._device_abandoned(state, part, prepared, error))
+
+    def _device_done(self, state, part, prepared, sim):
+        part.rows = list(sim.joined_rows)
+        part.completed_at = sim.host_end
+        part.host_counters = prepared.host_counters
+        part.device_counters = prepared.execution.counters
+        part.timeline = list(sim.timeline)
+        part.batches = prepared.n_batches
+        part.intermediate_rows = prepared.intermediate_rows
+        part.intermediate_bytes = (prepared.intermediate_rows
+                                   * prepared.row_bytes)
+        part.setup_time = prepared.setup_time
+        part.host_wait_initial = sim.host_wait_initial
+        part.host_wait_other = sim.host_wait_other
+        part.transfer_time = sim.transfer_total
+        part.host_processing = sim.host_processing
+        part.device_busy_time = prepared.device_time
+        part.device_stall_time = sim.device_stall
+        part.retries += sim.retries
+        part.wasted_time += sim.wasted_time
+        prepared.release()
+
+    def _device_abandoned(self, state, part, prepared, error):
+        """Single-device failure: re-execute the shard elsewhere.
+
+        The failed device is excluded from all further placement; the
+        partition restarts from scratch on the least-loaded surviving
+        device (bounded by the device count), then on the host.
+        """
+        now = state.kernel.now
+        prepared.release()
+        part.retries += error.retries
+        part.wasted_time += error.wasted_time
+        part.attempted.append(part.device)
+        state.failed_devices.add(part.device)
+        state.failures.append({
+            "partition": part.index,
+            "device": part.device,
+            "at": now,
+            "retries": error.retries,
+            "error": str(error),
+        })
+        if state.tracer.enabled:
+            state.tracer.instant(
+                FAULTS_TRACK, f"device {part.device} failed", now,
+                args={"partition": part.index, "retries": error.retries})
+        survivors = [
+            j for j in range(self.cluster.n_devices)
+            if j not in state.failed_devices and j not in part.attempted
+        ]
+        if survivors:
+            target = min(
+                survivors,
+                key=lambda j: (state.kernel.cores[j].free_at, j))
+            self._start_device(state, part, target, at=now)
+        else:
+            self._start_host(state, part, at=now, fallback=True)
+
+    def _start_host(self, state, part, at, fallback=False):
+        """Run ``part``'s shard host-only, serialized on the shared CPU.
+
+        The rows come from an eager native-path pipeline run over the
+        shard (identical to the device path's pre-finalize rows by
+        construction); the shared CPU resource then prices when that
+        service time actually fits between the other partitions' host
+        work.
+        """
+        kernel = state.kernel
+        counters = WorkCounters()
+        rows, _row_bytes = self.cluster.host.run_pipeline(
+            state.plan, counters, driving_shard=part.shard)
+        service, _ = self.cluster.timing.charge(counters,
+                                                ExecutionLocation.HOST)
+        begin, end = kernel.cpu.acquire(
+            at, service, label=f"host partition {part.index}")
+        part.placement = "host-fallback" if fallback else "host"
+        part.device = None
+        part.rows = rows
+        part.completed_at = end
+        part.host_counters = counters
+        part.host_processing = service
+        part.timeline = [
+            TimelinePhase("host", "compute", begin, end,
+                          f"partition {part.index} (host)",
+                          resource=HOST_RESOURCE),
+        ]
+        if state.tracer.enabled:
+            state.tracer.span(
+                f"exec/p{part.index}", part.placement, begin, end,
+                category="execution",
+                args={"partition": part.index, "service_time": service})
+
+    # ------------------------------------------------------------------
+    # Gather
+    # ------------------------------------------------------------------
+    def _merge(self, state):
+        """Concatenate partitions in order, finalize once, build report."""
+        cluster = self.cluster
+        kernel = state.kernel
+        partitions = state.partitions
+        merged_rows = []
+        for part in partitions:          # partition order => deterministic
+            merged_rows.extend(part.rows)
+        merge_counters = WorkCounters()
+        result = cluster.host.finalize_fragment(state.plan, merged_rows,
+                                                merge_counters)
+        merge_time, _ = cluster.timing.charge(merge_counters,
+                                              ExecutionLocation.HOST)
+        gather_at = max([kernel.now]
+                        + [part.completed_at for part in partitions])
+        begin, end = kernel.cpu.acquire(gather_at, merge_time,
+                                        label="gather-merge")
+        total = max(end, kernel.horizon)
+        if state.tracer.enabled:
+            state.tracer.span("exec/gather", "gather-merge", begin, end,
+                              category="execution",
+                              args={"rows_in": len(merged_rows),
+                                    "rows_out": len(result.rows)})
+
+        host_counters = WorkCounters()
+        device_counters = WorkCounters()
+        for part in partitions:
+            if part.host_counters is not None:
+                _add_counters(host_counters, part.host_counters)
+            if part.device_counters is not None:
+                _add_counters(device_counters, part.device_counters)
+        _add_counters(host_counters, merge_counters)
+
+        timeline = []
+        for part in partitions:
+            timeline.extend(part.timeline)
+        timeline.append(TimelinePhase("host", "compute", begin, end,
+                                      "gather-merge",
+                                      resource=HOST_RESOURCE))
+        timeline.sort(key=lambda phase: (phase.start, phase.end))
+
+        device_parts = [part for part in partitions
+                        if part.device is not None]
+        split_label = (f"H{device_parts[0].split_index}" if device_parts
+                       else "host")
+        report = ExecutionReport(
+            strategy=f"scatter-gather[{cluster.n_devices}x{split_label}]",
+            total_time=total,
+            result=result,
+            split_index=(device_parts[0].split_index if device_parts
+                         else None),
+            host_counters=host_counters,
+            device_counters=device_counters,
+            setup_time=sum(part.setup_time for part in partitions),
+            host_wait_initial=sum(part.host_wait_initial
+                                  for part in partitions),
+            host_wait_other=sum(part.host_wait_other
+                                for part in partitions),
+            transfer_time=sum(part.transfer_time for part in partitions),
+            host_processing_time=(sum(part.host_processing
+                                      for part in partitions)
+                                  + merge_time),
+            device_busy_time=sum(part.device_busy_time
+                                 for part in partitions),
+            device_stall_time=sum(part.device_stall_time
+                                  for part in partitions),
+            batches=sum(part.batches for part in partitions),
+            intermediate_rows=sum(part.intermediate_rows
+                                  for part in partitions),
+            intermediate_bytes=sum(part.intermediate_bytes
+                                   for part in partitions),
+            timeline=timeline,
+            resource_stats=kernel.resource_stats(total),
+            trace_metrics=state.tracer.metrics(),
+            cluster={
+                "n_devices": cluster.n_devices,
+                "partitioner": cluster.partitioner.describe(),
+                "driving_table": state.plan.entries[0].table_name,
+                "merge_time": merge_time,
+                "partitions": [part.describe() for part in partitions],
+                "failed_devices": sorted(state.failed_devices),
+                "failures": state.failures,
+            },
+        )
+        retries = sum(part.retries for part in partitions)
+        if retries:
+            report.retries = retries
+            report.wasted_device_time = sum(part.wasted_time
+                                            for part in partitions)
+        return report

@@ -1,0 +1,176 @@
+"""Seed-deterministic table partitioning for the device cluster.
+
+A :class:`Partitioner` assigns every row of every base table to exactly
+one of ``n`` devices by primary key, in one of two layouts:
+
+``range``
+    The fitted partitioner cuts each table's *actual* key space into
+    ``n`` contiguous, count-balanced runs.  A range shard carries
+    ``pk_lo``/``pk_hi`` bounds, so the driving scan prunes at the
+    storage layer — device ``i`` only reads its own key range's blocks
+    (I/O scales down with the cluster).
+
+``hash``
+    ``stable_hash((table, seed, pk)) % n`` — no fitting needed, robust
+    to skewed key ranges.  Hash shards are *logical*: a scan still reads
+    every block (mirrored storage), but only shard rows are evaluated,
+    so compute scales down while scan I/O does not.  The scaling sweep
+    defaults to range for this reason.
+
+Both layouts are pure functions of ``(kind, seed, n, table, key)`` plus
+— for range — the loaded key space, which is itself seed-deterministic,
+so the same seeds reproduce the same partitioning byte for byte.
+"""
+
+from repro.engine.pipeline import stable_hash
+from repro.errors import ReproError
+
+
+class TableShard:
+    """One device's slice of one table's scan responsibility.
+
+    The pipeline executor consumes this duck-typed surface:
+    ``pk_lo``/``pk_hi`` (storage-level pruning bounds, ``None`` for hash
+    shards), ``contains(pk)`` (membership routing), ``clamp(lo, hi)``
+    (intersection with plan-derived PK bounds), and ``is_empty``.
+    """
+
+    __slots__ = ("table", "index", "n_partitions", "pk_lo", "pk_hi",
+                 "is_empty", "_seed", "_hashed")
+
+    def __init__(self, table, index, n_partitions, pk_lo=None, pk_hi=None,
+                 is_empty=False, seed=None):
+        self.table = table
+        self.index = index
+        self.n_partitions = n_partitions
+        self.pk_lo = pk_lo
+        self.pk_hi = pk_hi
+        self.is_empty = is_empty
+        self._seed = seed
+        self._hashed = seed is not None
+
+    def contains(self, pk_value):
+        """Whether ``pk_value`` belongs to this shard."""
+        if self.is_empty:
+            return False
+        if self._hashed:
+            return (stable_hash((self.table, self._seed, pk_value))
+                    % self.n_partitions == self.index)
+        if self.pk_lo is not None and pk_value < self.pk_lo:
+            return False
+        if self.pk_hi is not None and pk_value > self.pk_hi:
+            return False
+        return True
+
+    def clamp(self, lo, hi):
+        """Intersect plan-derived PK bounds with this shard's bounds."""
+        if self.pk_lo is not None:
+            lo = self.pk_lo if lo is None else max(lo, self.pk_lo)
+        if self.pk_hi is not None:
+            hi = self.pk_hi if hi is None else min(hi, self.pk_hi)
+        return lo, hi
+
+    def describe(self):
+        """Short human-readable label for reports."""
+        if self.is_empty:
+            return f"{self.table}[{self.index}]: empty"
+        if self._hashed:
+            return (f"{self.table}[{self.index}]: "
+                    f"hash%{self.n_partitions}=={self.index}")
+        return (f"{self.table}[{self.index}]: "
+                f"pk in [{self.pk_lo}, {self.pk_hi}]")
+
+
+class Partitioner:
+    """Assigns table rows to ``n`` devices; hash or range layout.
+
+    Build one with :meth:`fit`: hash partitioners need no catalog state,
+    range partitioners compute per-table cut points from the loaded key
+    space.  ``shards(table)`` returns one :class:`TableShard` per
+    device; ``assign(table, pk)`` routes a single key.
+    """
+
+    def __init__(self, kind, n_partitions, seed=0, bounds=None):
+        if kind not in ("hash", "range"):
+            raise ReproError(f"unknown partitioner kind {kind!r}")
+        if n_partitions < 1:
+            raise ReproError("partitioner needs at least one partition")
+        self.kind = kind
+        self.n_partitions = n_partitions
+        self.seed = seed
+        #: range only: {table: [(lo, hi) or None per device]}
+        self._bounds = bounds or {}
+
+    @classmethod
+    def fit(cls, kind, n_partitions, catalog, seed=0):
+        """A partitioner fitted to the catalog's loaded key space.
+
+        Range fitting sorts each table's primary keys and cuts them into
+        ``n`` contiguous, count-balanced runs; tables with fewer rows
+        than devices leave the surplus shards empty (a legal layout the
+        executor must — and does — handle).
+        """
+        if kind == "hash":
+            return cls(kind, n_partitions, seed=seed)
+        bounds = {}
+        for table in catalog.tables():
+            pk = table.schema.primary_key
+            keys = sorted(row[pk] for row in table.scan(columns=[pk]))
+            cuts = []
+            for index in range(n_partitions):
+                lo_i = len(keys) * index // n_partitions
+                hi_i = len(keys) * (index + 1) // n_partitions
+                if lo_i >= hi_i:
+                    cuts.append(None)                 # empty shard
+                else:
+                    cuts.append((keys[lo_i], keys[hi_i - 1]))
+            bounds[table.name] = cuts
+        return cls(kind, n_partitions, seed=seed, bounds=bounds)
+
+    def shard(self, table_name, index):
+        """Device ``index``'s :class:`TableShard` of ``table_name``."""
+        if not 0 <= index < self.n_partitions:
+            raise ReproError(
+                f"shard index {index} out of range for "
+                f"{self.n_partitions} partitions")
+        if self.kind == "hash":
+            return TableShard(table_name, index, self.n_partitions,
+                              seed=self.seed)
+        cuts = self._bounds.get(table_name)
+        if cuts is None:
+            raise ReproError(
+                f"range partitioner was not fitted for table "
+                f"{table_name!r}")
+        bounds = cuts[index]
+        if bounds is None:
+            return TableShard(table_name, index, self.n_partitions,
+                              is_empty=True)
+        return TableShard(table_name, index, self.n_partitions,
+                          pk_lo=bounds[0], pk_hi=bounds[1])
+
+    def shards(self, table_name):
+        """All devices' shards of ``table_name``, in device order."""
+        return [self.shard(table_name, index)
+                for index in range(self.n_partitions)]
+
+    def assign(self, table_name, pk_value):
+        """The device index that owns ``(table_name, pk_value)``."""
+        if self.kind == "hash":
+            return (stable_hash((table_name, self.seed, pk_value))
+                    % self.n_partitions)
+        for index, shard in enumerate(self.shards(table_name)):
+            if shard.contains(pk_value):
+                return index
+        # Keys outside every fitted run (inserted after fitting) fall
+        # into the nearest boundary shard so routing still totals.
+        cuts = [c for c in self._bounds.get(table_name, ()) if c]
+        if cuts and pk_value < cuts[0][0]:
+            return self._bounds[table_name].index(cuts[0])
+        if cuts:
+            return self._bounds[table_name].index(cuts[-1])
+        return 0
+
+    def describe(self):
+        """``{kind, seed, n_partitions}`` for reports and benchmarks."""
+        return {"kind": self.kind, "seed": self.seed,
+                "n_partitions": self.n_partitions}

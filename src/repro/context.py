@@ -6,9 +6,10 @@ concurrent scheduler would have added a third.  :class:`ExecutionContext`
 stops the kwarg sprawl: every run entry point (``StackRunner.run``,
 ``Environment.run``, ``CooperativeExecutor.run_split`` /
 ``run_full_ndp``, ``run_all_splits``, the chaos and bench harnesses)
-accepts a single ``ctx=`` carrying all of them.  The old keywords keep
-working through :meth:`ExecutionContext.coerce`, the one compatibility
-shim — internal code only ever passes contexts.
+accepts a single ``ctx=`` carrying all of them.  The legacy keywords are
+*gone*: passing ``tracer=`` / ``faults=`` (or ``tracer_factory=`` to
+``run_all_splits``) raises a :class:`~repro.errors.ReproError` naming
+the replacement — see :func:`reject_removed_kwargs`.
 
 The context is frozen: it describes *how* to run, never accumulates
 per-run state.  Mutable per-run collaborators (an active
@@ -50,24 +51,13 @@ class ExecutionContext:
     scheduler: object = None
 
     @classmethod
-    def coerce(cls, ctx=None, tracer=None, faults=None):
-        """Normalise ``(ctx, legacy kwargs)`` to one context.
-
-        This is the compatibility shim for the pre-context ``tracer=`` /
-        ``faults=`` keywords: passing them *alongside* an explicit
-        context is ambiguous and raises.
-        """
+    def coerce(cls, ctx=None):
+        """Normalise an optional ``ctx`` argument to a usable context."""
         if ctx is None:
-            if tracer is None and faults is None:
-                return NULL_CONTEXT
-            return cls(tracer=tracer, faults=faults)
+            return NULL_CONTEXT
         if not isinstance(ctx, ExecutionContext):
             raise ReproError(
                 f"ctx must be an ExecutionContext, got {type(ctx).__name__}")
-        if tracer is not None or faults is not None:
-            raise ReproError(
-                "pass tracer/faults inside the ExecutionContext, "
-                "not alongside it")
         return ctx
 
     def sim_tracer(self):
@@ -94,3 +84,35 @@ class ExecutionContext:
 
 #: The do-nothing context: no tracing, no faults, no scheduler.
 NULL_CONTEXT = ExecutionContext()
+
+
+#: Keywords deleted by the ExecutionContext migration, with their
+#: replacement spelling for the error message.
+_REMOVED_KWARGS = {
+    "tracer": "ctx=ExecutionContext(tracer=...)",
+    "faults": "ctx=ExecutionContext(faults=...)",
+    "tracer_factory": "ctx_factory=lambda name: "
+                      "ExecutionContext(tracer=...)",
+}
+
+
+def reject_removed_kwargs(where, kwargs):
+    """Fail loudly on keywords the ExecutionContext migration removed.
+
+    Entry points that used to take ``tracer=`` / ``faults=`` (or
+    ``tracer_factory=``) collect stray keywords into ``**kwargs`` and
+    route them here: a removed keyword raises a
+    :class:`~repro.errors.ReproError` naming its replacement, anything
+    else raises ``TypeError`` like a normal unexpected keyword.
+    """
+    for name in kwargs:
+        replacement = _REMOVED_KWARGS.get(name)
+        if replacement is not None:
+            raise ReproError(
+                f"{where}() no longer accepts {name}=; pass {replacement} "
+                f"instead (the legacy keywords were removed with the "
+                f"ExecutionContext migration)")
+    if kwargs:
+        unexpected = sorted(kwargs)[0]
+        raise TypeError(
+            f"{where}() got an unexpected keyword argument {unexpected!r}")

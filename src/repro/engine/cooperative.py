@@ -26,7 +26,7 @@ link/core/CPU and the same device DRAM budget.
 
 import math
 
-from repro.context import ExecutionContext
+from repro.context import ExecutionContext, reject_removed_kwargs
 from repro.engine.counters import WorkCounters
 from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
 from repro.engine.timing import ExecutionLocation
@@ -70,7 +70,8 @@ class _SplitSimulation:
     def __init__(self, executor, timing, plan, batches, per_batch_device,
                  row_bytes, slots, setup_time, session, host_counters,
                  tracer=None, strategy_label="split", injector=None,
-                 start_offset=0.0, kernel=None, trace_label=None):
+                 start_offset=0.0, kernel=None, trace_label=None,
+                 finalize=True):
         self.executor = executor
         self.timing = timing
         self.plan = plan
@@ -88,6 +89,9 @@ class _SplitSimulation:
         self.root_span = None
         self.injector = injector or NULL_INJECTOR
         self.start_offset = start_offset   # admission-control wait
+        #: Scatter-gather partitions defer the epilogue: the cluster
+        #: merges all partitions' joined rows and finalizes *once*.
+        self.finalize = finalize
 
         self.kernel = kernel
         self.shared = kernel is not None
@@ -441,14 +445,19 @@ class _SplitSimulation:
 
     def _host_epilogue(self):
         now = self.clock.now
-        epilogue, delta = self._host_charge(
-            lambda: self.executor._finalize_time(self))
-        begin, end = self.cpu.acquire(now, epilogue, label="finalize")
-        self._phase("host", "compute", begin, end, "finalize",
-                    resource=HOST_RESOURCE, operator="finalize",
-                    extra={"counters": _counter_deltas(delta)}
-                    if self.tracer.enabled else None)
-        self.host_processing += epilogue
+        if self.finalize:
+            epilogue, delta = self._host_charge(
+                lambda: self.executor._finalize_time(self))
+            begin, end = self.cpu.acquire(now, epilogue, label="finalize")
+            self._phase("host", "compute", begin, end, "finalize",
+                        resource=HOST_RESOURCE, operator="finalize",
+                        extra={"counters": _counter_deltas(delta)}
+                        if self.tracer.enabled else None)
+            self.host_processing += epilogue
+        else:
+            # Deferred epilogue: the partition's joined rows stay raw in
+            # ``joined_rows``; the scatter-gather merge finalizes them.
+            end = now
         self.host_end = end
         if self.shared:
             if self.root_span is not None:
@@ -643,20 +652,20 @@ class CooperativeExecutor:
     # ------------------------------------------------------------------
     # Hybrid split execution
     # ------------------------------------------------------------------
-    def run_split(self, plan, split_index, ctx=None, *, tracer=None,
-                  faults=None):
+    def run_split(self, plan, split_index, ctx=None, **removed):
         """Execute the plan with split point ``H{split_index}``.
 
         ``ctx`` (an :class:`~repro.context.ExecutionContext`) carries the
-        run's tracer, fault plan and retry policy; the legacy ``tracer=``
-        / ``faults=`` keywords remain as a compatibility shim.  Tracing
-        records the run as structured spans; faults degrade the run —
-        transient submission failures retry with backoff in simulated
-        time, and exhausting the retries raises
+        run's tracer, fault plan and retry policy — the legacy
+        ``tracer=`` / ``faults=`` keywords were removed and raise.
+        Tracing records the run as structured spans; faults degrade the
+        run — transient submission failures retry with backoff in
+        simulated time, and exhausting the retries raises
         :class:`~repro.errors.RetriesExhaustedError` for the caller's
         host fallback.
         """
-        ctx = ExecutionContext.coerce(ctx, tracer=tracer, faults=faults)
+        reject_removed_kwargs("CooperativeExecutor.run_split", removed)
+        ctx = ExecutionContext.coerce(ctx)
         tracer = ctx.sim_tracer()
         injector = ctx.injector()
         fragments = self._split_fragments(plan, split_index)
@@ -672,7 +681,7 @@ class CooperativeExecutor:
                 prepared.release()
 
     def prepare_split(self, plan, split_index, ctx=None, *, kernel,
-                      trace_label=None):
+                      trace_label=None, shard=None, finalize=True):
         """Stage split ``H{split_index}`` for execution on ``kernel``.
 
         Runs the device fragment eagerly — its pipeline buffers stay
@@ -682,6 +691,10 @@ class CooperativeExecutor:
         the shared event loop.  Raises
         :class:`~repro.errors.DeviceOverloadError` when the pipeline does
         not fit the remaining device DRAM budget.
+
+        ``shard`` restricts the driving-table scan to one partition
+        (cluster scatter-gather); ``finalize=False`` defers the host
+        epilogue so the cluster can merge partitions and finalize once.
         """
         ctx = ExecutionContext.coerce(ctx)
         tracer = ctx.sim_tracer()
@@ -690,16 +703,18 @@ class CooperativeExecutor:
         with injector.attached(self.ndp.device):
             return self._prepare_split_attached(
                 plan, split_index, tracer, injector, *fragments,
-                kernel=kernel, trace_label=trace_label)
+                kernel=kernel, trace_label=trace_label, shard=shard,
+                finalize=finalize)
 
     def _prepare_split_attached(self, plan, split_index, tracer, injector,
                                 device_entries, host_entries,
                                 device_aliases, device_residual,
                                 host_residual, kernel=None,
-                                trace_label=None):
+                                trace_label=None, shard=None,
+                                finalize=True):
         # --- device fragment -----------------------------------------
         command = self.ndp.prepare_command(plan, device_entries,
-                                           device_residual)
+                                           device_residual, shard=shard)
         admission_wait = 0.0
         if injector.enabled:
             needed = self.ndp.device.pipeline_cost_bytes(
@@ -735,7 +750,7 @@ class CooperativeExecutor:
                 row_bytes, slots, setup_time, session, host_counters,
                 tracer=tracer, strategy_label=f"H{split_index}",
                 injector=injector, start_offset=admission_wait,
-                kernel=kernel, trace_label=trace_label)
+                kernel=kernel, trace_label=trace_label, finalize=finalize)
             return PreparedSplit(
                 executor=self, plan=plan, split_index=split_index,
                 execution=execution, sim=sim, device_time=device_time,
@@ -752,13 +767,14 @@ class CooperativeExecutor:
     # ------------------------------------------------------------------
     # Full NDP execution
     # ------------------------------------------------------------------
-    def run_full_ndp(self, plan, ctx=None, *, tracer=None, faults=None):
+    def run_full_ndp(self, plan, ctx=None, **removed):
         """Execute the whole QEP on the device (aggregation included).
 
         ``ctx`` carries tracer/faults like :meth:`run_split`; the legacy
-        keywords remain as the compatibility shim.
+        ``tracer=`` / ``faults=`` keywords were removed and raise.
         """
-        ctx = ExecutionContext.coerce(ctx, tracer=tracer, faults=faults)
+        reject_removed_kwargs("CooperativeExecutor.run_full_ndp", removed)
+        ctx = ExecutionContext.coerce(ctx)
         tracer = ctx.sim_tracer()
         injector = ctx.injector()
         with injector.attached(self.ndp.device):

@@ -43,14 +43,26 @@ class HostEngine:
     # ------------------------------------------------------------------
     # Full-plan execution (BLK / NATIVE baselines)
     # ------------------------------------------------------------------
-    def execute(self, plan, strategy="host-only"):
-        """Run the whole plan on the host; returns an ExecutionReport."""
-        counters = WorkCounters()
+    def run_pipeline(self, plan, counters, driving_shard=None):
+        """Join-pipeline portion of a plan (everything before finalize).
+
+        ``driving_shard`` restricts the driving table to one cluster
+        partition.  Returns ``(rows, row_bytes)``; work lands in
+        ``counters``.  The scatter-gather executor uses this directly to
+        run host-placed partitions whose finalize happens once, over the
+        merged rows of all partitions.
+        """
         executor = PipelineExecutor(self.catalog, self._pipeline_config(),
                                     counters)
         residual = conjuncts(plan.residual)
-        rows, _row_bytes = executor.run(plan.entries, plan.spec.tables,
-                                        residual_conjuncts=residual)
+        return executor.run(plan.entries, plan.spec.tables,
+                            residual_conjuncts=residual,
+                            driving_shard=driving_shard)
+
+    def execute(self, plan, strategy="host-only"):
+        """Run the whole plan on the host; returns an ExecutionReport."""
+        counters = WorkCounters()
+        rows, _row_bytes = self.run_pipeline(plan, counters)
         result_rows, columns = finalize(rows, plan.select_items,
                                         plan.group_by, counters,
                                         limit=plan.limit)

@@ -32,6 +32,9 @@ class NDPCommand:
     aggregates_on_device: bool = False
     select_items: list = field(default_factory=list)
     group_by: list = field(default_factory=list)
+    #: Driving-table partition for cluster scatter-gather (a
+    #: :class:`repro.cluster.TableShard`), None for whole-table runs.
+    shard: object = None
 
     @property
     def payload_bytes(self):
@@ -39,6 +42,8 @@ class NDPCommand:
         base = 256                                    # fixed header
         base += 192 * len(self.entries)               # per-op descriptors
         base += 64 * len(self.residual_conjuncts)
+        if self.shard is not None:
+            base += 48                                # partition descriptor
         if self.shared_state is not None:
             base += self.shared_state.payload_bytes
         return base
@@ -108,11 +113,13 @@ class NDPEngine:
     # Command preparation (host side, but owned here for cohesion)
     # ------------------------------------------------------------------
     def prepare_command(self, plan, entries, residual_conjuncts,
-                        aggregates_on_device=False):
+                        aggregates_on_device=False, shard=None):
         """Build the NDP invocation for a plan fragment.
 
         Captures the shared-state snapshot of every involved column
         family (primary + any secondary index CFs), per nKV §2.1.
+        ``shard`` restricts the driving-table scan to one partition
+        (cluster scatter-gather).
         """
         if not self.device.ndp_mode:
             raise OffloadError("device is not mounted in NDP mode")
@@ -129,6 +136,7 @@ class NDPEngine:
             aggregates_on_device=aggregates_on_device,
             select_items=list(plan.select_items),
             group_by=list(plan.group_by),
+            shard=shard,
         )
 
     # ------------------------------------------------------------------
@@ -175,7 +183,8 @@ class NDPEngine:
                                         counters)
             rows, row_bytes = executor.run(
                 command.entries, command.tables,
-                residual_conjuncts=command.residual_conjuncts)
+                residual_conjuncts=command.residual_conjuncts,
+                driving_shard=command.shard)
             result = None
             if command.aggregates_on_device:
                 result_rows, columns = finalize(

@@ -125,7 +125,7 @@ class PipelineExecutor:
     # Entry points
     # ------------------------------------------------------------------
     def run(self, entries, tables, residual_conjuncts=(), input_rows=None,
-            input_row_bytes=0, input_aliases=()):
+            input_row_bytes=0, input_aliases=(), driving_shard=None):
         """Execute stages over ``entries``.
 
         ``tables`` maps alias -> table name (from the QuerySpec).
@@ -133,6 +133,12 @@ class PipelineExecutor:
         the device's intermediate results); when None, the first entry is
         the driving table.  ``input_aliases`` names the aliases already
         joined into the seed rows so residual predicates bind correctly.
+        ``driving_shard`` (a :class:`repro.cluster.TableShard`-like
+        object) restricts the driving table to one partition: range
+        shards push primary-key bounds into the scan, hash shards filter
+        rows on shard membership before any predicate work is charged.
+        Inner probes stay unrestricted — the cluster's storage is
+        mirrored, so partition-local prefixes see every join partner.
 
         Returns ``(rows, row_bytes)`` where ``row_bytes`` is the
         materialized size of one output row (feeds transfer volumes and
@@ -148,7 +154,7 @@ class PipelineExecutor:
         else:
             if not entries:
                 raise ExecutionError("pipeline needs at least one stage")
-            rows, row_bytes = self._driving(entries[0])
+            rows, row_bytes = self._driving(entries[0], shard=driving_shard)
             available = {entries[0].alias}
             rows, pending_residual = self._apply_residual(
                 rows, pending_residual, available)
@@ -204,26 +210,52 @@ class PipelineExecutor:
     # ------------------------------------------------------------------
     # Driving table
     # ------------------------------------------------------------------
-    def _driving(self, entry):
+    def _driving(self, entry, shard=None):
         table = self.catalog.table(entry.table_name)
         predicate = self._compiled_filter(entry)
         ops, memcmp = predicate_cost(entry.local_filter, self.catalog,
                                      self._tables)
         needed, q_projection, exact = self._decode_plan(entry)
+        pk_qualified = None
+        if shard is not None:
+            # Shard routing checks need the primary key decoded; keep the
+            # projection itself untouched (``exact`` goes False so the
+            # extra column is projected away again).
+            pk = table.schema.primary_key
+            pk_qualified = f"{entry.alias}.{pk}"
+            if pk not in needed:
+                needed = sorted(set(needed) | {pk})
+                exact = False
         stats = self._stats()
         rows = []
-        if entry.access_path is AccessPath.SECONDARY_LOOKUP:
+        if shard is not None and shard.is_empty:
+            source = ()
+        elif entry.access_path is AccessPath.SECONDARY_LOOKUP:
             source = self._secondary_driving(table, entry, stats, needed)
         elif entry.access_path is AccessPath.PK_RANGE:
             lo, hi = self._pk_bounds(entry)
+            if shard is not None:
+                lo, hi = shard.clamp(lo, hi)
             source = table.scan(stats=stats, pk_lo=lo, pk_hi=hi,
                                 columns=needed, qualified_as=entry.alias)
         else:
-            source = table.scan(stats=stats, columns=needed,
-                                qualified_as=entry.alias)
+            if shard is not None and shard.pk_lo is not None:
+                # Range shards prune at the storage layer: the scan only
+                # touches the shard's key range (block-level pruning).
+                source = table.scan(stats=stats, pk_lo=shard.pk_lo,
+                                    pk_hi=shard.pk_hi, columns=needed,
+                                    qualified_as=entry.alias)
+            else:
+                source = table.scan(stats=stats, columns=needed,
+                                    qualified_as=entry.alias)
         row_bytes = self._materialized_bytes(entry)
         counters = self.counters
         for row in source:
+            if (shard is not None
+                    and not shard.contains(row[pk_qualified])):
+                # Row belongs to another device's shard: routing is free
+                # (no predicate work charged for skipped rows).
+                continue
             counters.records_evaluated += 1
             counters.predicate_ops += ops
             counters.memcmp_bytes += memcmp

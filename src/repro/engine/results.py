@@ -100,6 +100,10 @@ class ExecutionReport:
     wasted_device_time: float = 0.0
     #: Simulated seconds admission control waited for device buffers.
     admission_wait_time: float = 0.0
+    #: Multi-device scatter-gather details (docs/cluster.md): device
+    #: count, partitioner, per-partition placements and re-executions.
+    #: Empty for single-device runs.
+    cluster: dict = field(default_factory=dict)
     notes: dict = field(default_factory=dict)
 
     @property
@@ -144,8 +148,10 @@ class ExecutionReport:
     #: key is added, removed or changes meaning; ``docs/observability.md``
     #: documents each version.  v2: ``schema_version`` added, the
     #: ``resilience`` block is always present (zeros for clean runs)
-    #: instead of appearing only on degraded ones.
-    SCHEMA_VERSION = 2
+    #: instead of appearing only on degraded ones.  v3: the ``cluster``
+    #: block is always present (empty ``{}`` for single-device runs;
+    #: populated by the scatter-gather executor, docs/cluster.md).
+    SCHEMA_VERSION = 3
 
     def to_dict(self, include_rows=False, include_timeline=False):
         """JSON-serialisable view of the report (for tooling/logs).
@@ -180,6 +186,7 @@ class ExecutionReport:
             "notes": {key: value for key, value in self.notes.items()
                       if isinstance(value, (str, int, float, bool, list))},
         }
+        payload["cluster"] = dict(self.cluster)
         payload["resilience"] = {
             "fallback_from": self.fallback_from,
             "retries": self.retries,

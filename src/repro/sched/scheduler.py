@@ -41,7 +41,7 @@ from repro.core import DeviceLoad, ExecutionStrategy
 from repro.engine.stacks import Stack
 from repro.errors import DeviceOverloadError, ReproError
 from repro.sched.arrivals import ClosedLoopArrivals, assign_clients
-from repro.sim import SimContext
+from repro.sim import ClusterSimContext, SimContext
 from repro.workloads.job_queries import query as job_query
 
 #: Trace track for scheduler decisions (admissions, queueing, placement).
@@ -157,18 +157,39 @@ class WorkloadResult:
 
 
 class WorkloadScheduler:
-    """Admits queries onto one shared simulated device + host."""
+    """Admits queries onto one shared simulated device + host.
 
-    def __init__(self, env, ctx=None, max_inflight=None):
+    With ``cluster`` (a :class:`repro.cluster.DeviceCluster`) the
+    scheduler runs the same admission policy over ``n`` devices on one
+    :class:`~repro.sim.ClusterSimContext`: each admitted offload is
+    placed *whole* on the least-loaded device (earliest free NDP core,
+    then fewest reserved bytes) — correct for any device because the
+    cluster's storage is mirrored — and per-device DRAM budgets are
+    arbitrated independently.  Scatter-gather execution of a *single*
+    query across devices lives in
+    :class:`repro.cluster.ScatterGatherExecutor` instead.
+    """
+
+    def __init__(self, env, ctx=None, max_inflight=None, cluster=None):
         self.env = env
         self.runner = env.runner
         self.planner = env.planner
-        self.device = env.device
+        self.cluster = cluster
         base = ExecutionContext.coerce(ctx)
         #: The context scheduler-driven executions run under.
         self.ctx = base.with_scheduler(self)
         self.tracer = self.ctx.sim_tracer()
-        self.kernel = SimContext.fresh(tracer=self.ctx.tracer)
+        if cluster is not None:
+            self.devices = list(cluster.devices)
+            self.device = self.devices[0]
+            self.kernel = ClusterSimContext.fresh(cluster.n_devices,
+                                                  tracer=self.ctx.tracer)
+            self._device_inflight_by = [0] * cluster.n_devices
+        else:
+            self.devices = [env.device]
+            self.device = env.device
+            self.kernel = SimContext.fresh(tracer=self.ctx.tracer)
+            self._device_inflight_by = [0]
         self.max_inflight = max_inflight   # None = DRAM budget only
         self.jobs = []
         self._queue = []           # FIFO of jobs awaiting admission
@@ -225,19 +246,33 @@ class WorkloadScheduler:
             raise ReproError(
                 f"workload drained with unfinished queries: {unfinished}")
         makespan = self.kernel.horizon
+        extras = {}
+        if self.cluster is not None:
+            extras["cluster"] = {
+                "n_devices": self.cluster.n_devices,
+                "partitioner": self.cluster.partitioner.describe(),
+            }
         return WorkloadResult(
             jobs=self.jobs,
             makespan=makespan,
             resource_stats=self.kernel.resource_stats(makespan),
-            device_budget_bytes=self.device.buffer_budget,
+            device_budget_bytes=sum(device.buffer_budget
+                                    for device in self.devices),
             peak_reserved_bytes=self._peak_reserved,
+            extras=extras,
         )
 
     # ------------------------------------------------------------------
     # Load measurement
     # ------------------------------------------------------------------
-    def current_load(self):
-        """The device-pressure snapshot fed to load-aware planning.
+    def _device_resources(self, index):
+        """``(link, core)`` busy resources of device ``index``."""
+        if self.cluster is None:
+            return self.kernel.link, self.kernel.core
+        return self.kernel.links[index], self.kernel.cores[index]
+
+    def current_load(self, device_index=0):
+        """One device's pressure snapshot fed to load-aware planning.
 
         Utilization is busy time over the horizon each resource is
         booked until — counting work already committed to the future,
@@ -249,13 +284,29 @@ class WorkloadScheduler:
                 return 0.0
             return min(1.0, resource.busy_time / horizon)
 
+        link, core = self._device_resources(device_index)
+        device = self.devices[device_index]
         return DeviceLoad(
-            core_utilization=_utilization(self.kernel.core),
-            link_utilization=_utilization(self.kernel.link),
-            reserved_fraction=(self.device.reserved_bytes
-                               / max(1, self.device.buffer_budget)),
-            inflight=self._device_inflight,
+            core_utilization=_utilization(core),
+            link_utilization=_utilization(link),
+            reserved_fraction=(device.reserved_bytes
+                               / max(1, device.buffer_budget)),
+            inflight=self._device_inflight_by[device_index],
         )
+
+    def _least_loaded_device(self):
+        """The device the next offload should land on.
+
+        Earliest-free NDP core first (work committed to the future is
+        what the query will wait behind), fewest reserved DRAM bytes
+        second, lowest index last — a deterministic total order.
+        """
+        def _key(index):
+            _link, core = self._device_resources(index)
+            return (core.free_at, self.devices[index].reserved_bytes,
+                    index)
+
+        return min(range(len(self.devices)), key=_key)
 
     # ------------------------------------------------------------------
     # Admission
@@ -290,7 +341,8 @@ class WorkloadScheduler:
     def _try_start(self, job):
         """Plan and start ``job`` now; False if it must keep waiting."""
         now = self.kernel.now
-        load = self.current_load()
+        target = self._least_loaded_device()
+        load = self.current_load(target)
         job.decision = self.planner.decide(job.plan, device_load=load)
         if (job.decision.strategy is ExecutionStrategy.HOST_ONLY
                 or job.decision.split_index is None):
@@ -301,9 +353,15 @@ class WorkloadScheduler:
         # host-side, which keeps result rows identical to serial
         # execution on one shared code path.
         split_index = job.decision.split_index
+        if self.cluster is None:
+            cooperative = self.runner.cooperative
+            kernel = self.kernel
+        else:
+            cooperative = self.cluster.executors[target]
+            kernel = self.kernel.view(target)
         try:
-            prepared = self.runner.cooperative.prepare_split(
-                job.plan, split_index, self.ctx, kernel=self.kernel,
+            prepared = cooperative.prepare_split(
+                job.plan, split_index, self.ctx, kernel=kernel,
                 trace_label=job.label)
         except DeviceOverloadError:
             if self._device_inflight > 0:
@@ -313,24 +371,26 @@ class WorkloadScheduler:
             # Would not fit even an idle device: run on the host.
             self._start_host(job)
             return True
-        job.placement = f"H{split_index}"
+        job.placement = (f"H{split_index}" if self.cluster is None
+                         else f"H{split_index}@d{target}")
         job.admitted_at = now
         self._inflight += 1
         self._device_inflight += 1
-        self._peak_reserved = max(self._peak_reserved,
-                                  self.device.reserved_bytes)
+        self._device_inflight_by[target] += 1
+        reserved = sum(device.reserved_bytes for device in self.devices)
+        self._peak_reserved = max(self._peak_reserved, reserved)
         if self.tracer.enabled:
             self.tracer.instant(
                 SCHED_TRACK, f"admit {job.label}", now,
                 args={"placement": job.placement,
-                      "reserved_bytes": self.device.reserved_bytes,
+                      "reserved_bytes": reserved,
                       "core_utilization": round(load.core_utilization, 4)})
         prepared.start(
             now,
             on_complete=lambda sim, job=job, prepared=prepared:
-                self._offload_done(job, prepared),
+                self._offload_done(job, prepared, target),
             on_abandon=lambda sim, error, job=job, prepared=prepared:
-                self._offload_abandoned(job, prepared, error))
+                self._offload_abandoned(job, prepared, error, target))
         return True
 
     # ------------------------------------------------------------------
@@ -375,13 +435,14 @@ class WorkloadScheduler:
     # ------------------------------------------------------------------
     # Completion paths
     # ------------------------------------------------------------------
-    def _offload_done(self, job, prepared):
+    def _offload_done(self, job, prepared, device_index=0):
         now = self.kernel.now
         job.report = prepared.finish(total_time=now - job.arrival)
         self._device_inflight -= 1
+        self._device_inflight_by[device_index] -= 1
         self._finish(job, now)
 
-    def _offload_abandoned(self, job, prepared, error):
+    def _offload_abandoned(self, job, prepared, error, device_index=0):
         """Mid-workload graceful degradation: re-run on the host.
 
         Mirrors :meth:`StackRunner._host_fallback` — the wasted device
@@ -392,6 +453,7 @@ class WorkloadScheduler:
         now = self.kernel.now
         prepared.release()
         self._device_inflight -= 1
+        self._device_inflight_by[device_index] -= 1
         self._inflight -= 1      # _start_host re-increments
         job.error = str(error)
         wasted = max(0.0, now - job.arrival)

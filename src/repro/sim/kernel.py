@@ -67,3 +67,89 @@ class SimContext:
             horizon = self.horizon
         return {resource.name: resource.stats(horizon)
                 for resource in self.resources()}
+
+
+def device_resource_names(index):
+    """``(link_name, core_name)`` for device ``index`` of a cluster."""
+    return (f"{LINK_RESOURCE}[{index}]", f"{DEVICE_RESOURCE}[{index}]")
+
+
+@dataclass
+class ClusterSimContext:
+    """One simulated multi-device machine on a single kernel.
+
+    One clock, one event loop, one shared host CPU — and one PCIe
+    link + NDP core pair *per device* (``pcie_link[i]`` /
+    ``device_core1[i]``).  :meth:`view` projects the cluster down to a
+    per-device :class:`SimContext` so the cooperative executor's
+    simulations run unchanged against device ``i``'s resources while
+    still sharing the cluster's timeline and host CPU.
+    """
+
+    clock: SimClock
+    loop: EventLoop
+    cpu: BusyResource
+    links: list
+    cores: list
+
+    @classmethod
+    def fresh(cls, n_devices, tracer=None):
+        """A new cluster kernel at time zero with ``n_devices`` devices."""
+        if n_devices < 1:
+            raise ValueError("a cluster needs at least one device")
+        tracer = as_tracer(tracer)
+        clock = SimClock()
+        links, cores = [], []
+        for index in range(n_devices):
+            link_name, core_name = device_resource_names(index)
+            links.append(BusyResource(link_name, tracer=tracer))
+            cores.append(BusyResource(core_name, tracer=tracer))
+        return cls(
+            clock=clock,
+            loop=EventLoop(clock, tracer=tracer),
+            cpu=BusyResource(HOST_RESOURCE, tracer=tracer),
+            links=links,
+            cores=cores,
+        )
+
+    @property
+    def n_devices(self):
+        """How many devices share this kernel."""
+        return len(self.links)
+
+    def view(self, index):
+        """Device ``index``'s slice of the kernel as a :class:`SimContext`.
+
+        The view shares the cluster's clock, loop and host CPU; its link
+        and core are the device's own resources, so per-device
+        contention and utilization fall out of the one shared timeline.
+        """
+        return SimContext(clock=self.clock, loop=self.loop,
+                          link=self.links[index], core=self.cores[index],
+                          cpu=self.cpu)
+
+    @property
+    def now(self):
+        """Current simulated time."""
+        return self.clock.now
+
+    def resources(self):
+        """All busy resources: per-device pairs, then the host CPU."""
+        out = []
+        for link, core in zip(self.links, self.cores):
+            out.extend((link, core))
+        out.append(self.cpu)
+        return tuple(out)
+
+    @property
+    def horizon(self):
+        """Latest simulated instant any resource is booked until."""
+        return max(self.clock.now,
+                   *(resource.free_at for resource in self.resources()))
+
+    def resource_stats(self, horizon=None):
+        """``{name: stats}`` for all resources over ``[0, horizon]``."""
+        if horizon is None:
+            horizon = self.horizon
+        return {resource.name: resource.stats(horizon)
+                for resource in self.resources()}

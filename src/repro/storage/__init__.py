@@ -18,6 +18,7 @@ from repro.storage.machines import (
 )
 from repro.storage.device import BufferReservation, SmartStorageDevice
 from repro.storage.profiler import HardwareProfiler, ProfileReport
+from repro.storage.topology import PartitionSpec, Topology
 
 __all__ = [
     "FlashDevice",
@@ -33,4 +34,6 @@ __all__ = [
     "BufferReservation",
     "HardwareProfiler",
     "ProfileReport",
+    "Topology",
+    "PartitionSpec",
 ]

@@ -1,0 +1,115 @@
+"""Machine topology: the one entry point for host/device wiring.
+
+Every experiment used to hand-wire ``SmartStorageDevice(spec=, flash=,
+link=, ndp_mode=)`` next to a ``HostSpec`` pick; :class:`Topology` makes
+the machine layout a first-class value instead.  ``Topology.single()``
+is the paper's machine — one host, one COSMOS+ class smart SSD.
+``Topology.cluster(n)`` is the scale-out layout ``repro.cluster``
+consumes: ``n`` devices over mirrored storage, each with its own PCIe
+link and NDP core, all attached to one host (docs/cluster.md).
+
+The devices of a cluster share one :class:`~repro.storage.flash.FlashDevice`
+(mirrored storage): each device is *responsible* for scanning its
+partition of every table but can probe the full data set locally, which
+is what makes partition-local joins exact (no cross-partition matches
+are ever missed — see the merge-correctness argument in docs/cluster.md).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.storage.device import SmartStorageDevice
+from repro.storage.flash import FlashDevice
+from repro.storage.interconnect import PCIeLink
+from repro.storage.machines import COSMOS_PLUS, DEFAULT_LINK, HOST_I5
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How a cluster topology splits tables across its devices.
+
+    ``kind`` is ``"hash"`` or ``"range"``; ``seed`` feeds the hash
+    function so partition assignment is deterministic per (seed, table,
+    key).  The fitted :class:`~repro.cluster.Partitioner` is built from
+    this spec once the catalog's key space is known.
+    """
+
+    kind: str = "range"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ("hash", "range"):
+            raise ReproError(
+                f"unknown partitioner kind {self.kind!r}; "
+                f"expected 'hash' or 'range'")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """One host plus one or more smart-storage devices.
+
+    Construct through :meth:`single` or :meth:`cluster`; ad-hoc
+    ``SmartStorageDevice(...)`` wiring outside device unit tests should
+    go through here so every layer agrees on specs, links and flash.
+    """
+
+    host: object                       # HostSpec
+    devices: tuple                     # SmartStorageDevice per slot
+    #: Partitioning spec for clusters; None for single-device layouts.
+    partitioning: PartitionSpec = None
+    flash: object = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if not self.devices:
+            raise ReproError("a topology needs at least one device")
+
+    @classmethod
+    def single(cls, device_spec=None, host_spec=None, flash=None,
+               link=None, ndp_mode=True):
+        """The paper's machine: one host, one smart SSD."""
+        flash = flash if flash is not None else FlashDevice()
+        device = SmartStorageDevice(spec=device_spec or COSMOS_PLUS,
+                                    flash=flash,
+                                    link=link or DEFAULT_LINK or PCIeLink(),
+                                    ndp_mode=ndp_mode)
+        return cls(host=host_spec or HOST_I5, devices=(device,),
+                   flash=flash)
+
+    @classmethod
+    def cluster(cls, n_devices, partitioner=None, device_spec=None,
+                host_spec=None, flash=None, link=None):
+        """A scale-out layout: ``n_devices`` smart SSDs on one host.
+
+        All devices mirror one flash store and get their *own* PCIe link
+        and NDP core (and DRAM budget); ``partitioner`` is a
+        :class:`PartitionSpec` (or ``"hash"``/``"range"`` shorthand)
+        naming how scan responsibility is split across them.
+        """
+        if n_devices < 1:
+            raise ReproError("a cluster needs at least one device")
+        if partitioner is None:
+            partitioner = PartitionSpec()
+        elif isinstance(partitioner, str):
+            partitioner = PartitionSpec(kind=partitioner)
+        flash = flash if flash is not None else FlashDevice()
+        link = link or DEFAULT_LINK or PCIeLink()
+        devices = tuple(
+            SmartStorageDevice(spec=device_spec or COSMOS_PLUS,
+                               flash=flash, link=link, ndp_mode=True)
+            for _ in range(n_devices))
+        return cls(host=host_spec or HOST_I5, devices=devices,
+                   partitioning=partitioner, flash=flash)
+
+    @property
+    def n_devices(self):
+        """How many devices the topology has."""
+        return len(self.devices)
+
+    @property
+    def device(self):
+        """The device of a single-device topology."""
+        if len(self.devices) != 1:
+            raise ReproError(
+                f"topology has {len(self.devices)} devices; "
+                f"index into .devices instead of using .device")
+        return self.devices[0]

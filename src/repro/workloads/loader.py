@@ -19,6 +19,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 
+from repro.context import reject_removed_kwargs
 from repro.core.cost_model import CostModel
 from repro.core.hardware import HardwareModel
 from repro.core.planner import HybridPlanner
@@ -29,7 +30,7 @@ from repro.lsm.store import LSMConfig
 from repro.relational.catalog import Catalog
 from repro.storage.device import SmartStorageDevice
 from repro.storage.flash import FlashDevice
-from repro.storage.machines import COSMOS_PLUS, HOST_I5
+from repro.storage.topology import Topology
 from repro.workloads.generator import DatasetGenerator, DatasetSpec
 from repro.workloads.imdb_schema import imdb_schemas
 
@@ -50,6 +51,10 @@ class Environment:
     hardware: HardwareModel
     buffer_scale: float
     secondary_indexes: bool = True
+    #: The machine layout the environment was wired from
+    #: (:class:`repro.storage.topology.Topology`); single-device by
+    #: default, replaced by ``DeviceCluster`` consumers for scale-out.
+    topology: object = None
 
     def build_kwargs(self):
         """Keyword arguments that rebuild an identical environment."""
@@ -71,11 +76,11 @@ class Environment:
         """Data bytes across all tables (excluding indexes)."""
         return self.catalog.total_bytes()
 
-    def run(self, query, stack, split_index=None, ctx=None, *, tracer=None,
-            faults=None):
+    def run(self, query, stack, split_index=None, ctx=None, **removed):
         """Shortcut to :meth:`StackRunner.run`."""
+        reject_removed_kwargs("Environment.run", removed)
         return self.runner.run(query, stack, split_index=split_index,
-                               ctx=ctx, tracer=tracer, faults=faults)
+                               ctx=ctx)
 
     def decide(self, query, device_load=None):
         """Shortcut to :meth:`HybridPlanner.decide`."""
@@ -164,9 +169,10 @@ def build_environment(scale=0.0005, seed=7, secondary_indexes=True,
         table.insert_many(workload[schema.name])
     catalog.flush_all()
 
-    device = SmartStorageDevice(spec=device_spec or COSMOS_PLUS,
-                                flash=flash)
-    host = host_spec or HOST_I5
+    topology = Topology.single(device_spec=device_spec, host_spec=host_spec,
+                               flash=flash)
+    device = topology.device
+    host = topology.host
 
     # Scale device buffers by dataset-size ratio (floors keep batching
     # meaningful at tiny scales).
@@ -195,4 +201,5 @@ def build_environment(scale=0.0005, seed=7, secondary_indexes=True,
         hardware=hardware,
         buffer_scale=buffer_scale,
         secondary_indexes=secondary_indexes,
+        topology=topology,
     )

@@ -11,7 +11,7 @@ from repro.lsm.column_family import KVDatabase
 from repro.lsm.store import LSMConfig
 from repro.relational.catalog import Catalog
 from repro.relational.schema import TableSchema, char_col, int_col
-from repro.storage.device import SmartStorageDevice
+from repro.storage.topology import Topology
 from repro.storage.flash import FlashDevice
 from repro.workloads.loader import build_environment
 
@@ -52,7 +52,7 @@ def flash():
 
 @pytest.fixture
 def device(flash):
-    return SmartStorageDevice(flash=flash)
+    return Topology.single(flash=flash).device
 
 
 @pytest.fixture

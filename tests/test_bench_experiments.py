@@ -57,10 +57,10 @@ class TestForceBnlj:
     def test_forced_plan_still_correct(self, mini_catalog, kv_db, flash):
         from repro.engine.stacks import Stack, StackRunner
         from repro.query.optimizer import build_plan
-        from repro.storage.device import SmartStorageDevice
+        from repro.storage.topology import Topology
         from tests.conftest import MINI_JOIN_SQL
         runner = StackRunner(mini_catalog, kv_db,
-                             SmartStorageDevice(flash=flash),
+                             Topology.single(flash=flash).device,
                              buffer_scale=0.001)
         normal = runner.run(build_plan(MINI_JOIN_SQL, mini_catalog),
                             Stack.NATIVE)

@@ -1,0 +1,231 @@
+"""Scatter-gather cluster execution: correctness, determinism, faults.
+
+The load-bearing claim of ``repro.cluster`` is that a scatter-gather
+run over any device count returns *row-identical* results to
+single-device serial execution (docs/cluster.md has the merge
+argument).  These tests pin that differentially over the representative
+JOB subset, plus the cluster-specific surfaces: the report's ``cluster``
+block and per-device resource stats, byte-for-byte determinism,
+single-device-failure re-execution, empty partitions, and the
+scheduler's cluster placement mode.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterFaultPlan, DeviceCluster
+from repro.context import ExecutionContext
+from repro.engine.stacks import Stack
+from repro.faults import CommandFaultModel, FaultPlan
+from repro.sched import ClosedLoopArrivals, WorkloadScheduler
+from repro.sim import device_resource_names
+from repro.storage.topology import PartitionSpec, Topology
+from repro.workloads.job_queries import query
+
+from tests.test_differential_job import REPRESENTATIVE
+
+
+@pytest.fixture(scope="module")
+def cluster2(job_env):
+    """Two devices, range partitioning (the sweep's default layout)."""
+    return DeviceCluster(job_env, n_devices=2,
+                         partitioner=PartitionSpec("range", seed=0))
+
+
+@pytest.fixture(scope="module")
+def cluster4_hash(job_env):
+    """Four devices, hash partitioning (logical scatter)."""
+    return DeviceCluster(job_env, n_devices=4,
+                         partitioner=PartitionSpec("hash", seed=0))
+
+
+def serial_rows(job_env, name):
+    plan = job_env.runner.plan(query(name))
+    return plan, job_env.run(plan, Stack.BLK).result.sorted_rows()
+
+
+class TestDifferential:
+    """Cluster rows == serial rows, every representative query."""
+
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_two_device_range_matches_serial(self, job_env, cluster2,
+                                             name):
+        plan, baseline = serial_rows(job_env, name)
+        report = cluster2.run(plan)
+        assert report.result.sorted_rows() == baseline, name
+        assert report.cluster["n_devices"] == 2
+
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_four_device_hash_matches_serial(self, job_env, cluster4_hash,
+                                             name):
+        plan, baseline = serial_rows(job_env, name)
+        report = cluster4_hash.run(plan)
+        assert report.result.sorted_rows() == baseline, name
+        assert report.cluster["partitioner"]["kind"] == "hash"
+
+
+class TestSingleDeviceEquivalence:
+    """n_devices=1 is byte-for-byte the serial hybrid path."""
+
+    @pytest.mark.parametrize("name", ["1a", "8c"])
+    def test_rows_and_total_time_identical(self, job_env, name):
+        cluster = DeviceCluster(job_env, n_devices=1)
+        plan = job_env.runner.plan(query(name))
+        split = plan.table_count - 1
+        serial = job_env.run(plan, Stack.HYBRID, split_index=split)
+        merged = cluster.run(plan, split_index=split)
+        assert merged.result.sorted_rows() == serial.result.sorted_rows()
+        assert merged.total_time == serial.total_time
+
+
+class TestReportShape:
+    def test_cluster_block_and_per_device_resources(self, cluster2):
+        report = cluster2.run(query("8c"))
+        block = report.cluster
+        assert block["n_devices"] == 2
+        assert block["partitioner"] == {"kind": "range", "seed": 0,
+                                        "n_partitions": 2}
+        assert block["driving_table"] == "role_type"
+        assert len(block["partitions"]) == 2
+        assert block["failed_devices"] == []
+        for index in range(2):
+            link, core = device_resource_names(index)
+            assert link in report.resource_stats
+            assert core in report.resource_stats
+        assert "host_cpu" in report.resource_stats
+
+    def test_utilization_never_exceeds_one(self, cluster4_hash):
+        report = cluster4_hash.run(query("8c"))
+        for name, stats in report.resource_stats.items():
+            assert 0.0 <= stats["utilization"] <= 1.0 + 1e-9, name
+
+    def test_split_pinning_places_every_partition_at_hk(self, cluster2):
+        report = cluster2.run(query("1a"), split_index=0)
+        for part in report.cluster["partitions"]:
+            assert part["placement"].startswith("H0@d"), part
+        assert report.split_index == 0
+
+    def test_report_round_trips_to_json(self, cluster2):
+        payload = cluster2.run(query("3b")).to_dict(include_timeline=True)
+        assert payload["cluster"]["n_devices"] == 2
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestDeterminism:
+    def test_two_fresh_clusters_byte_identical(self, job_env):
+        def run_once():
+            cluster = DeviceCluster(
+                job_env, n_devices=2,
+                partitioner=PartitionSpec("range", seed=0))
+            report = cluster.run(query("3b"))
+            return json.dumps(report.to_dict(include_timeline=True),
+                              sort_keys=True)
+
+        assert run_once() == run_once()
+
+    def test_benchmark_summary_deterministic(self, job_env):
+        from repro.bench.cluster import run_cluster_benchmark
+
+        def run_once():
+            return json.dumps(
+                run_cluster_benchmark(job_env, 2,
+                                      query_names=["1a", "3b"],
+                                      clients=2),
+                sort_keys=True)
+
+        assert run_once() == run_once()
+
+
+class TestEmptyPartitions:
+    def test_more_devices_than_driving_rows(self, job_env):
+        # 1a drives from company_type (4 rows at this scale): an 8-way
+        # range layout leaves 4 shards empty, which must contribute
+        # nothing — not break the merge.
+        cluster = DeviceCluster(job_env, n_devices=8,
+                                partitioner=PartitionSpec("range", seed=0))
+        plan, baseline = serial_rows(job_env, "1a")
+        report = cluster.run(plan)
+        placements = [part["placement"]
+                      for part in report.cluster["partitions"]]
+        assert placements.count("empty") == 4
+        assert report.result.sorted_rows() == baseline
+
+
+class TestDeviceFailure:
+    def test_failed_device_partition_reexecutes_elsewhere(self, job_env):
+        cluster = DeviceCluster(job_env, n_devices=2,
+                                partitioner=PartitionSpec("range", seed=0))
+        plan, baseline = serial_rows(job_env, "1a")
+        faults = ClusterFaultPlan(plans={0: FaultPlan(
+            seed=1, commands=CommandFaultModel(fail_first=50))})
+        report = cluster.run(plan, ctx=ExecutionContext(faults=faults))
+
+        assert report.result.sorted_rows() == baseline
+        assert report.cluster["failed_devices"] == [0]
+        (failure,) = report.cluster["failures"]
+        assert failure["device"] == 0
+        assert failure["retries"] > 0
+        part0 = report.cluster["partitions"][0]
+        assert part0["attempted_devices"] == [0]
+        assert "@d0" not in part0["placement"]
+        assert report.retries > 0
+
+    def test_all_devices_failed_falls_back_to_host(self, job_env):
+        cluster = DeviceCluster(job_env, n_devices=2,
+                                partitioner=PartitionSpec("range", seed=0))
+        plan, baseline = serial_rows(job_env, "1a")
+        storm = FaultPlan(seed=1,
+                          commands=CommandFaultModel(fail_first=500))
+        report = cluster.run(
+            plan, ctx=ExecutionContext(faults=ClusterFaultPlan(
+                default=storm)))
+        assert report.result.sorted_rows() == baseline
+        assert report.cluster["failed_devices"] == [0, 1]
+        placements = {part["placement"]
+                      for part in report.cluster["partitions"]}
+        assert placements == {"host-fallback"}
+
+    def test_plan_for_defaults(self):
+        plan = FaultPlan(seed=3)
+        faults = ClusterFaultPlan(plans={1: plan})
+        assert faults.plan_for(1) is plan
+        assert faults.plan_for(0) is None
+        assert ClusterFaultPlan(default=plan).plan_for(7) is plan
+
+
+class TestSchedulerClusterMode:
+    def test_workload_places_across_devices(self, job_env, cluster2):
+        scheduler = WorkloadScheduler(job_env, cluster=cluster2)
+        scheduler.submit_closed_loop(
+            ["1a", "3b", "8c"], ClosedLoopArrivals(clients=2, seed=0))
+        result = scheduler.run()
+
+        assert len(result.completed()) == len(result.jobs)
+        assert result.extras["cluster"]["n_devices"] == 2
+        offloaded = [p for p in result.placements() if "@d" in p]
+        assert offloaded, result.placements()
+        baselines = {name: serial_rows(job_env, name)[1]
+                     for name in ("1a", "3b", "8c")}
+        for job in result.jobs:
+            assert (job.report.result.sorted_rows()
+                    == baselines[job.name]), job.label
+
+
+class TestTopologyWiring:
+    def test_cluster_topology_round_trip(self, job_env):
+        topology = Topology.cluster(3, partitioner="hash",
+                                    flash=job_env.device.flash)
+        cluster = DeviceCluster(job_env, topology=topology)
+        assert cluster.n_devices == 3
+        assert cluster.partitioner.describe()["kind"] == "hash"
+        # All devices mirror the environment's flash store.
+        assert all(device.flash is job_env.device.flash
+                   for device in cluster.devices)
+
+    def test_device_count_mismatch_rejected(self, job_env):
+        from repro.errors import ReproError
+
+        topology = Topology.cluster(2, flash=job_env.device.flash)
+        with pytest.raises(ReproError, match="disagrees"):
+            DeviceCluster(job_env, n_devices=4, topology=topology)

@@ -13,7 +13,7 @@ from repro.engine.cooperative import (DEVICE_RESOURCE, HOST_RESOURCE,
                                       LINK_RESOURCE)
 from repro.engine.stacks import Stack, StackRunner
 from repro.errors import DeviceOverloadError
-from repro.storage.device import SmartStorageDevice
+from repro.storage.topology import Topology
 
 from tests.conftest import MINI_JOIN_SQL
 
@@ -25,7 +25,7 @@ WHERE t.id = mc.movie_id
 
 @pytest.fixture
 def runner(mini_catalog, kv_db, flash):
-    device = SmartStorageDevice(flash=flash)
+    device = Topology.single(flash=flash).device
     return StackRunner(mini_catalog, kv_db, device, buffer_scale=0.001)
 
 
@@ -114,14 +114,14 @@ class TestRunAllSplitsBugfixes:
     def test_programming_errors_propagate(self, runner, monkeypatch):
         # Regression: a bare `except Exception` swallowed TypeErrors into
         # the results dict as if the strategy were infeasible.
-        def explode(plan, split_index, tracer=None, faults=None):
+        def explode(plan, split_index, ctx=None):
             raise TypeError("programming error")
         monkeypatch.setattr(runner._cooperative, "run_split", explode)
         with pytest.raises(TypeError):
             runner.run_all_splits(MINI_JOIN_SQL)
 
     def test_repro_errors_recorded_as_infeasible(self, runner, monkeypatch):
-        def overload(plan, split_index, tracer=None, faults=None):
+        def overload(plan, split_index, ctx=None):
             raise DeviceOverloadError("out of buffers")
         monkeypatch.setattr(runner._cooperative, "run_split", overload)
         reports = runner.run_all_splits(MINI_JOIN_SQL)

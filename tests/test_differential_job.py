@@ -86,7 +86,7 @@ def test_undocumented_errors_fail_loudly(job_env, monkeypatch):
     """A programming error in a strategy must not look infeasible."""
     runner = job_env.runner
 
-    def explode(plan, split_index, tracer=None):
+    def explode(plan, split_index, ctx=None):
         raise TypeError("programming error")
 
     monkeypatch.setattr(runner._cooperative, "run_split", explode)

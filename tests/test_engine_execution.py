@@ -11,13 +11,14 @@ from repro.engine.stacks import Stack, StackRunner
 from repro.engine.timing import ExecutionLocation
 from repro.errors import DeviceOverloadError, PlanError
 from repro.storage.device import SmartStorageDevice
+from repro.storage.topology import Topology
 
 from tests.conftest import MINI_JOIN_SQL
 
 
 @pytest.fixture
 def runner(mini_catalog, kv_db, flash):
-    device = SmartStorageDevice(flash=flash)
+    device = Topology.single(flash=flash).device
     return StackRunner(mini_catalog, kv_db, device, buffer_scale=0.001)
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.stacks import Stack, StackRunner
-from repro.storage.device import SmartStorageDevice
+from repro.storage.topology import Topology
 
 GROUP_SQL = """SELECT t.kind_id, COUNT(*) AS n, MIN(t.production_year) AS lo
 FROM title AS t, movie_companies AS mc
@@ -14,7 +14,8 @@ GROUP BY t.kind_id"""
 @pytest.fixture
 def runner(mini_catalog, kv_db, flash):
     return StackRunner(mini_catalog, kv_db,
-                       SmartStorageDevice(flash=flash), buffer_scale=0.001)
+                       Topology.single(flash=flash).device,
+                       buffer_scale=0.001)
 
 
 def reference_groups():

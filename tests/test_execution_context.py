@@ -20,23 +20,16 @@ class TestCoerce:
         assert ExecutionContext.coerce() is NULL_CONTEXT
         assert ExecutionContext.coerce(None) is NULL_CONTEXT
 
-    def test_legacy_kwargs_build_a_context(self):
-        tracer = Tracer()
-        faults = FaultPlan(seed=1)
-        ctx = ExecutionContext.coerce(tracer=tracer, faults=faults)
-        assert ctx.tracer is tracer
-        assert ctx.faults is faults
+    def test_legacy_kwargs_no_longer_exist(self):
+        # coerce() lost its tracer=/faults= shim with the migration.
+        with pytest.raises(TypeError):
+            ExecutionContext.coerce(tracer=Tracer())
+        with pytest.raises(TypeError):
+            ExecutionContext.coerce(faults=FaultPlan(seed=1))
 
     def test_context_passes_through(self):
         ctx = ExecutionContext(tracer=Tracer())
         assert ExecutionContext.coerce(ctx) is ctx
-
-    def test_context_plus_kwargs_is_ambiguous(self):
-        ctx = ExecutionContext()
-        with pytest.raises(ReproError):
-            ExecutionContext.coerce(ctx, tracer=Tracer())
-        with pytest.raises(ReproError):
-            ExecutionContext.coerce(ctx, faults=FaultPlan(seed=1))
 
     def test_wrong_type_rejected(self):
         with pytest.raises(ReproError):
@@ -79,24 +72,35 @@ class TestContext:
 
 
 class TestRunPaths:
-    """ctx= and the legacy kwargs must drive runs identically."""
+    """ctx= is the only spelling; the legacy kwargs raise by name."""
 
-    def test_ctx_equals_legacy_tracer_kwarg(self, job_env):
+    @pytest.mark.parametrize("kwargs", [
+        {"tracer": None}, {"faults": None},
+    ])
+    def test_removed_kwargs_raise_with_replacement(self, job_env, kwargs):
         plan = job_env.runner.plan(query(QUERY))
-        legacy_tracer = Tracer()
-        ctx_tracer = Tracer()
-        legacy = job_env.run(plan, Stack.HYBRID, split_index=0,
-                             tracer=legacy_tracer)
-        via_ctx = job_env.run(plan, Stack.HYBRID, split_index=0,
-                              ctx=ExecutionContext(tracer=ctx_tracer))
-        assert legacy.to_dict() == via_ctx.to_dict()
-        assert legacy_tracer.to_chrome() == ctx_tracer.to_chrome()
+        name = next(iter(kwargs))
+        with pytest.raises(ReproError, match=f"no longer accepts {name}="):
+            job_env.run(plan, Stack.HYBRID, split_index=0, **kwargs)
+        with pytest.raises(ReproError, match="ExecutionContext"):
+            job_env.runner.run(plan, Stack.HYBRID, split_index=0, **kwargs)
+
+    def test_unknown_kwarg_is_a_type_error(self, job_env):
+        plan = job_env.runner.plan(query(QUERY))
+        with pytest.raises(TypeError):
+            job_env.run(plan, Stack.HYBRID, split_index=0, bogus=1)
 
     def test_ctx_plus_kwargs_rejected_at_run(self, job_env):
         plan = job_env.runner.plan(query(QUERY))
         with pytest.raises(ReproError):
             job_env.run(plan, Stack.HYBRID, split_index=0,
                         ctx=ExecutionContext(), tracer=Tracer())
+
+    def test_run_all_splits_tracer_factory_removed(self, job_env):
+        with pytest.raises(ReproError,
+                           match="no longer accepts tracer_factory="):
+            job_env.runner.run_all_splits(
+                query(QUERY), tracer_factory=lambda name: Tracer())
 
     def test_run_all_splits_ctx_factory(self, job_env):
         tracers = {}

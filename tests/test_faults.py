@@ -10,6 +10,7 @@ correct host-only execution, and every degradation leaves an audit trail
 import pytest
 
 from repro.bench.chaos import default_split
+from repro.context import ExecutionContext
 from repro.engine.stacks import Stack
 from repro.errors import (DeviceOverloadError, ExecutionError, ReproError,
                           RetriesExhaustedError, TransientDeviceError)
@@ -71,7 +72,7 @@ class TestZeroCostOff:
         plan, split = _plan_and_split(job_env)
         bare = job_env.run(plan, Stack.HYBRID, split_index=split)
         nulled = job_env.run(plan, Stack.HYBRID, split_index=split,
-                             faults=NULL_PLAN)
+                             ctx=ExecutionContext(faults=NULL_PLAN))
         assert _report_dict(bare) == _report_dict(nulled)
         # Schema v2: the resilience block is always present; a clean run
         # reports it as all-zero.
@@ -83,7 +84,8 @@ class TestZeroCostOff:
     def test_disabled_plan_full_ndp_identical(self, job_env):
         plan = job_env.runner.plan(query(QUERY))
         bare = job_env.run(plan, Stack.NDP)
-        nulled = job_env.run(plan, Stack.NDP, faults=FaultPlan(seed=99))
+        nulled = job_env.run(plan, Stack.NDP,
+                             ctx=ExecutionContext(faults=FaultPlan(seed=99)))
         assert _report_dict(bare) == _report_dict(nulled)
 
 
@@ -94,9 +96,9 @@ class TestDeterminism:
                            commands=CommandFaultModel(probability=0.5),
                            flash=FlashFaultModel(probability=0.1))
         first = job_env.run(plan, Stack.HYBRID, split_index=split,
-                            faults=faults)
+                            ctx=ExecutionContext(faults=faults))
         second = job_env.run(plan, Stack.HYBRID, split_index=split,
-                             faults=faults)
+                             ctx=ExecutionContext(faults=faults))
         assert _report_dict(first) == _report_dict(second)
 
     def test_different_seed_differs(self, job_env):
@@ -104,8 +106,9 @@ class TestDeterminism:
         def run(seed):
             return job_env.run(
                 plan, Stack.HYBRID, split_index=split,
-                faults=FaultPlan(seed=seed,
-                                 commands=CommandFaultModel(probability=0.5)))
+                ctx=ExecutionContext(faults=FaultPlan(
+                    seed=seed,
+                    commands=CommandFaultModel(probability=0.5))))
         reports = [run(seed) for seed in range(6)]
         assert len({report.retries for report in reports}) > 1
 
@@ -116,7 +119,7 @@ class TestRetries:
         baseline = job_env.run(plan, Stack.NATIVE)
         faults = FaultPlan(commands=CommandFaultModel(fail_first=2))
         report = job_env.run(plan, Stack.HYBRID, split_index=split,
-                             faults=faults)
+                             ctx=ExecutionContext(faults=faults))
         assert report.strategy == f"H{split}"
         assert report.fallback_from is None
         assert report.retries == 2
@@ -130,7 +133,8 @@ class TestRetries:
         clean = job_env.run(plan, Stack.HYBRID, split_index=split)
         faulted = job_env.run(
             plan, Stack.HYBRID, split_index=split,
-            faults=FaultPlan(commands=CommandFaultModel(fail_first=2)))
+            ctx=ExecutionContext(
+                faults=FaultPlan(commands=CommandFaultModel(fail_first=2))))
         assert faulted.total_time > clean.total_time
         labels = [phase.label for phase in faulted.timeline]
         assert "retry backoff 1" in labels
@@ -140,7 +144,8 @@ class TestRetries:
         plan, split = _plan_and_split(job_env)
         faults = FaultPlan(commands=CommandFaultModel(fail_first=8))
         with pytest.raises(RetriesExhaustedError) as excinfo:
-            job_env.runner._cooperative.run_split(plan, split, faults=faults)
+            job_env.runner._cooperative.run_split(
+                plan, split, ExecutionContext(faults=faults))
         failure = excinfo.value
         assert failure.strategy == f"H{split}"
         assert failure.retries == 1 + faults.retry.max_retries
@@ -153,7 +158,7 @@ class TestFallback:
         baseline = job_env.run(plan, Stack.NATIVE)
         faults = FaultPlan(commands=CommandFaultModel(fail_first=8))
         report = job_env.run(plan, Stack.HYBRID, split_index=split,
-                             faults=faults)
+                             ctx=ExecutionContext(faults=faults))
         assert report.strategy == "host-only(fallback)"
         assert report.fallback_from == f"H{split}"
         assert report.retries == 1 + faults.retry.max_retries
@@ -167,7 +172,8 @@ class TestFallback:
         plan = job_env.runner.plan(query(QUERY))
         faults = FaultPlan(commands=CommandFaultModel(fail_first=8))
         baseline = job_env.run(plan, Stack.NATIVE)
-        report = job_env.run(plan, Stack.NDP, faults=faults)
+        report = job_env.run(plan, Stack.NDP,
+                             ctx=ExecutionContext(faults=faults))
         assert report.strategy == "host-only(fallback)"
         assert report.fallback_from == "full-ndp"
         assert (report.result.sorted_rows()
@@ -177,7 +183,8 @@ class TestFallback:
         plan = job_env.runner.plan(query(QUERY))
         report = job_env.run(
             plan, Stack.NDP,
-            faults=FaultPlan(commands=CommandFaultModel(fail_first=1)))
+            ctx=ExecutionContext(
+                faults=FaultPlan(commands=CommandFaultModel(fail_first=1))))
         assert report.strategy == "full-ndp"
         assert report.retries == 1
         assert report.faults_injected == {"transient_command": 1}
@@ -199,7 +206,8 @@ class TestFlashFaults:
         clean = job_env.run(plan, Stack.HYBRID, split_index=split)
         report = job_env.run(
             plan, Stack.HYBRID, split_index=split,
-            faults=FaultPlan(flash=FlashFaultModel(probability=1.0)))
+            ctx=ExecutionContext(
+                faults=FaultPlan(flash=FlashFaultModel(probability=1.0))))
         assert report.faults_injected.get("flash_ecc_retry", 0) > 0
         assert report.total_time > clean.total_time
         assert (report.result.sorted_rows()
@@ -231,8 +239,9 @@ class TestLinkDramCoreFaults:
         plan, split = _plan_and_split(job_env)
         report = job_env.run(
             plan, Stack.HYBRID, split_index=split,
-            faults=FaultPlan(dram=DramFaultModel(
-                windows=(FaultWindow(0.0, 0.001),), shrink_bytes=1 << 40)))
+            ctx=ExecutionContext(faults=FaultPlan(dram=DramFaultModel(
+                windows=(FaultWindow(0.0, 0.001),),
+                shrink_bytes=1 << 40))))
         assert report.admission_wait_time == 0.001
         assert report.faults_injected == {"dram_admission_wait": 1}
         labels = [phase.label for phase in report.timeline]
@@ -250,8 +259,8 @@ class TestLinkDramCoreFaults:
         clean = job_env.run(plan, Stack.HYBRID, split_index=split)
         report = job_env.run(
             plan, Stack.HYBRID, split_index=split,
-            faults=FaultPlan(core=CoreFaultModel(
-                windows=(FaultWindow(0.0, 0.002),))))
+            ctx=ExecutionContext(faults=FaultPlan(core=CoreFaultModel(
+                windows=(FaultWindow(0.0, 0.002),)))))
         assert report.faults_injected.get("core_offline", 0) > 0
         assert report.device_stall_time > clean.device_stall_time
 
@@ -260,8 +269,11 @@ class TestFaultTrace:
     def test_fault_instants_land_on_the_faults_track(self, job_env):
         plan, split = _plan_and_split(job_env)
         tracer = Tracer()
-        job_env.run(plan, Stack.HYBRID, split_index=split, tracer=tracer,
-                    faults=FaultPlan(commands=CommandFaultModel(fail_first=8)))
+        job_env.run(plan, Stack.HYBRID, split_index=split,
+                    ctx=ExecutionContext(
+                        tracer=tracer,
+                        faults=FaultPlan(
+                            commands=CommandFaultModel(fail_first=8))))
         names = [record.name for record in tracer.instants
                  if record.track == FAULTS_TRACK]
         assert names.count("transient-command-failure") == 4
@@ -271,6 +283,7 @@ class TestFaultTrace:
     def test_faultless_trace_has_no_faults_track(self, job_env):
         plan, split = _plan_and_split(job_env)
         tracer = Tracer()
-        job_env.run(plan, Stack.HYBRID, split_index=split, tracer=tracer)
+        job_env.run(plan, Stack.HYBRID, split_index=split,
+                    ctx=ExecutionContext(tracer=tracer))
         assert not [record for record in tracer.instants
                     if record.track == FAULTS_TRACK]

@@ -7,13 +7,15 @@ exported bytes must match exactly.  If an intentional change to the
 timing model or the tracer alters the trace, regenerate the fixture:
 
     PYTHONPATH=src python -c "
+    from repro.context import ExecutionContext
     from repro.engine.stacks import Stack
     from repro.sim import Tracer
     from repro.workloads.job_queries import query
     from repro.workloads.loader import build_environment
     env = build_environment(scale=0.0004, seed=7)
     tracer = Tracer()
-    env.run(query('1a'), Stack.HYBRID, split_index=0, tracer=tracer)
+    env.run(query('1a'), Stack.HYBRID, split_index=0,
+            ctx=ExecutionContext(tracer=tracer))
     tracer.write('tests/golden/trace_1a_h0.json')"
 
 and explain the timing change in the commit message.
@@ -22,6 +24,7 @@ and explain the timing change in the commit message.
 import json
 from pathlib import Path
 
+from repro.context import ExecutionContext
 from repro.engine.stacks import Stack
 from repro.sim import Tracer
 from repro.workloads.job_queries import query
@@ -31,7 +34,8 @@ GOLDEN = Path(__file__).parent / "golden" / "trace_1a_h0.json"
 
 def export_trace(job_env):
     tracer = Tracer()
-    job_env.run(query("1a"), Stack.HYBRID, split_index=0, tracer=tracer)
+    job_env.run(query("1a"), Stack.HYBRID, split_index=0,
+                ctx=ExecutionContext(tracer=tracer))
     return tracer.dumps() + "\n"
 
 

@@ -1,0 +1,161 @@
+"""Partitioner edge cases: determinism, coverage, skew, empty shards.
+
+The cluster's merge-correctness argument (docs/cluster.md) rests on the
+partitioner producing shards that are *disjoint* and *cover* the key
+space — every primary key belongs to exactly one shard.  These tests
+pin that invariant for both layouts, plus the edge cases the executor
+must survive: more devices than rows (empty shards), heavily skewed key
+spaces, and the degenerate single-partition layout.
+"""
+
+import pytest
+
+from repro.cluster import Partitioner, TableShard
+from repro.errors import ReproError
+from repro.lsm.column_family import KVDatabase
+from repro.relational.catalog import Catalog
+from repro.relational.schema import int_col, TableSchema
+
+from tests.conftest import small_lsm_config
+
+
+def owners(partitioner, table, keys):
+    """Which shard indexes claim each key (must be exactly one each)."""
+    shards = partitioner.shards(table)
+    return {key: [shard.index for shard in shards if shard.contains(key)]
+            for key in keys}
+
+
+def table_keys(catalog, name):
+    table = catalog.table(name)
+    pk = table.schema.primary_key
+    return [row[pk] for row in table.scan(columns=[pk])]
+
+
+@pytest.mark.parametrize("kind", ["hash", "range"])
+@pytest.mark.parametrize("n", [1, 3, 4])
+class TestDisjointCover:
+    def test_every_key_in_exactly_one_shard(self, mini_catalog, kind, n):
+        partitioner = Partitioner.fit(kind, n, mini_catalog, seed=0)
+        for name in ("title", "movie_companies", "company_type"):
+            assignment = owners(partitioner, name,
+                                table_keys(mini_catalog, name))
+            assert all(len(hits) == 1 for hits in assignment.values()), (
+                name, {k: v for k, v in assignment.items()
+                       if len(v) != 1})
+
+    def test_assign_agrees_with_contains(self, mini_catalog, kind, n):
+        partitioner = Partitioner.fit(kind, n, mini_catalog, seed=0)
+        for key in table_keys(mini_catalog, "title"):
+            index = partitioner.assign("title", key)
+            assert partitioner.shard("title", index).contains(key)
+
+
+class TestDeterminism:
+    def test_same_seed_same_layout(self, mini_catalog):
+        keys = table_keys(mini_catalog, "movie_companies")
+        first = Partitioner.fit("hash", 4, mini_catalog, seed=11)
+        second = Partitioner.fit("hash", 4, mini_catalog, seed=11)
+        assert ([first.assign("movie_companies", k) for k in keys]
+                == [second.assign("movie_companies", k) for k in keys])
+
+    def test_different_seed_reshuffles_hash_layout(self, mini_catalog):
+        keys = table_keys(mini_catalog, "movie_companies")
+        a = Partitioner.fit("hash", 4, mini_catalog, seed=0)
+        b = Partitioner.fit("hash", 4, mini_catalog, seed=1)
+        assert ([a.assign("movie_companies", k) for k in keys]
+                != [b.assign("movie_companies", k) for k in keys])
+
+    def test_range_refit_is_stable(self, mini_catalog):
+        first = Partitioner.fit("range", 4, mini_catalog)
+        second = Partitioner.fit("range", 4, mini_catalog)
+        for name in ("title", "movie_companies", "company_type"):
+            assert ([(s.pk_lo, s.pk_hi, s.is_empty)
+                     for s in first.shards(name)]
+                    == [(s.pk_lo, s.pk_hi, s.is_empty)
+                        for s in second.shards(name)])
+
+
+class TestEmptyShards:
+    """More devices than rows: surplus shards must be empty, not wrong."""
+
+    def test_small_table_leaves_surplus_shards_empty(self, mini_catalog):
+        # company_type has 4 rows; an 8-way range fit leaves 4 empties.
+        partitioner = Partitioner.fit("range", 8, mini_catalog)
+        shards = partitioner.shards("company_type")
+        empty = [shard for shard in shards if shard.is_empty]
+        assert len(empty) == 4
+        for shard in empty:
+            assert not shard.contains(0)
+            assert shard.describe().endswith("empty")
+        assignment = owners(partitioner, "company_type",
+                            table_keys(mini_catalog, "company_type"))
+        assert all(len(hits) == 1 for hits in assignment.values())
+
+
+class TestSkew:
+    def test_range_fit_balances_counts_not_key_spans(self):
+        # Keys cluster at both ends of a huge span; a naive key-span cut
+        # would put everything in one shard.  The fit is count-balanced.
+        db = KVDatabase(default_config=small_lsm_config())
+        catalog = Catalog(db)
+        catalog.create_table(TableSchema(
+            "skewed", (int_col("id", False), int_col("v")), "id"))
+        table = catalog.table("skewed")
+        keys = [0, 1, 2, 3, 1_000_000, 1_000_001, 1_000_002, 1_000_003]
+        for key in keys:
+            table.insert({"id": key, "v": key % 7})
+        catalog.flush_all()
+
+        partitioner = Partitioner.fit("range", 2, catalog)
+        shards = partitioner.shards("skewed")
+        counts = [sum(shard.contains(k) for k in keys) for shard in shards]
+        assert counts == [4, 4]
+        assert shards[0].pk_hi < shards[1].pk_lo
+
+
+class TestSinglePartition:
+    def test_one_shard_covers_everything(self, mini_catalog):
+        for kind in ("hash", "range"):
+            partitioner = Partitioner.fit(kind, 1, mini_catalog, seed=5)
+            (shard,) = partitioner.shards("title")
+            assert all(shard.contains(k)
+                       for k in table_keys(mini_catalog, "title"))
+            assert partitioner.assign("title", 123) == 0
+
+
+class TestShardClamp:
+    def test_range_shard_intersects_plan_bounds(self):
+        shard = TableShard("t", 0, 2, pk_lo=100, pk_hi=200)
+        assert shard.clamp(None, None) == (100, 200)
+        assert shard.clamp(150, 500) == (150, 200)
+        assert shard.clamp(0, 150) == (100, 150)
+        # Disjoint plan bounds produce an inverted (empty) range, which
+        # the scan evaluates to zero rows rather than raising.
+        lo, hi = shard.clamp(300, 400)
+        assert lo > hi
+
+    def test_hash_shard_clamp_is_passthrough(self):
+        shard = TableShard("t", 1, 4, seed=3)
+        assert shard.clamp(10, 20) == (10, 20)
+        assert shard.clamp(None, None) == (None, None)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self, mini_catalog):
+        with pytest.raises(ReproError, match="unknown partitioner kind"):
+            Partitioner("round-robin", 2)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ReproError, match="at least one"):
+            Partitioner("hash", 0)
+
+    def test_shard_index_out_of_range(self, mini_catalog):
+        partitioner = Partitioner.fit("hash", 2, mini_catalog)
+        with pytest.raises(ReproError, match="out of range"):
+            partitioner.shard("title", 2)
+
+    def test_unfitted_range_table_rejected(self):
+        partitioner = Partitioner("range", 2)
+        with pytest.raises(ReproError, match="not fitted"):
+            partitioner.shard("title", 0)

@@ -13,7 +13,7 @@ from repro.engine.stacks import Stack, StackRunner
 from repro.lsm.column_family import KVDatabase
 from repro.relational.catalog import Catalog
 from repro.relational.schema import TableSchema, char_col, int_col
-from repro.storage.device import SmartStorageDevice
+from repro.storage.topology import Topology
 from repro.storage.flash import FlashDevice
 
 from tests.conftest import small_lsm_config
@@ -38,7 +38,7 @@ def prop_runner():
     t.insert_many(T_ROWS)
     s.insert_many(S_ROWS)
     catalog.flush_all()
-    device = SmartStorageDevice(flash=flash)
+    device = Topology.single(flash=flash).device
     return StackRunner(catalog, db, device, buffer_scale=0.001)
 
 

@@ -12,11 +12,12 @@ import json
 
 import pytest
 
+from repro.context import ExecutionContext
 from repro.engine.cooperative import (DEVICE_RESOURCE, EXEC_TRACK,
                                       HOST_RESOURCE, LINK_RESOURCE)
 from repro.engine.stacks import Stack, StackRunner
 from repro.sim import Tracer
-from repro.storage.device import SmartStorageDevice
+from repro.storage.topology import Topology
 from repro.workloads.job_queries import query
 
 from tests.conftest import MINI_JOIN_SQL
@@ -26,14 +27,14 @@ RESOURCES = (LINK_RESOURCE, DEVICE_RESOURCE, HOST_RESOURCE)
 
 @pytest.fixture
 def runner(mini_catalog, kv_db, flash):
-    device = SmartStorageDevice(flash=flash)
+    device = Topology.single(flash=flash).device
     return StackRunner(mini_catalog, kv_db, device, buffer_scale=0.001)
 
 
 def traced_run(runner, stack, split_index=None):
     tracer = Tracer()
     report = runner.run(MINI_JOIN_SQL, stack, split_index=split_index,
-                        tracer=tracer)
+                        ctx=ExecutionContext(tracer=tracer))
     return report, tracer
 
 
@@ -155,15 +156,15 @@ class TestReportIntegration:
         report = runner.run(MINI_JOIN_SQL, Stack.HYBRID, split_index=1)
         assert report.trace_metrics == {}
 
-    def test_run_all_splits_accepts_tracer_factory(self, runner):
+    def test_run_all_splits_accepts_ctx_factory(self, runner):
         tracers = {}
 
         def factory(name):
             tracers[name] = Tracer()
-            return tracers[name]
+            return ExecutionContext(tracer=tracers[name])
 
         reports = runner.run_all_splits(MINI_JOIN_SQL,
-                                        tracer_factory=factory)
+                                        ctx_factory=factory)
         for name, report in reports.items():
             if isinstance(report, Exception):
                 continue
@@ -175,7 +176,7 @@ class TestJobQueryTrace:
     def test_job_query_trace_invariants(self, job_env):
         tracer = Tracer()
         report = job_env.run(query("8c"), Stack.HYBRID, split_index=1,
-                             tracer=tracer)
+                             ctx=ExecutionContext(tracer=tracer))
         root = root_span(tracer)
         assert root.end == pytest.approx(report.total_time)
         for resource in RESOURCES:

@@ -12,7 +12,7 @@ from repro.errors import CatalogError
 from repro.lsm.snapshot import SharedState
 from repro.query.ast import conjuncts
 from repro.relational.snapshot_table import SnapshotCatalog, SnapshotTable
-from repro.storage.device import SmartStorageDevice
+from repro.storage.topology import Topology
 
 from tests.conftest import MINI_JOIN_SQL
 
@@ -20,7 +20,8 @@ from tests.conftest import MINI_JOIN_SQL
 @pytest.fixture
 def runner(mini_catalog, kv_db, flash):
     return StackRunner(mini_catalog, kv_db,
-                       SmartStorageDevice(flash=flash), buffer_scale=0.001)
+                       Topology.single(flash=flash).device,
+                       buffer_scale=0.001)
 
 
 class TestSnapshotTable:
