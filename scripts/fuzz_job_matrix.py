@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Differential fuzz sweep: generated SQL across every execution layer.
+
+    python scripts/fuzz_job_matrix.py [--queries 200] [--seed 7] \\
+        [--scale S] [--dataset-seed N] [--modes host split ...] \\
+        [--corpus-dir fuzz-corpus] [--output FUZZ_matrix.json]
+
+Generates ``--queries`` seed-deterministic SQL queries
+(:mod:`repro.workloads.sqlgen`) and executes every one host-only, under
+split execution, as a scheduled concurrent workload, and on 2/4-device
+scatter-gather clusters, diffing rows against the host-BLK baseline and
+checking ``utilization <= 1`` (:mod:`repro.bench.fuzz`).
+
+The sweep runs twice with the same seeds; the script exits non-zero if
+any (query, mode) check fails *or* the two runs' summaries differ —
+CI gates on both correctness and byte-for-byte reproducibility.  The
+full corpus (and any shrunk failures) are written under ``--corpus-dir``
+for artifact upload and replay via ``repro fuzz --replay``.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.fuzz import MODES, FuzzHarness, write_corpus
+from repro.workloads.loader import build_environment
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="differential fuzzing over generated SQL workloads")
+    parser.add_argument("--queries", type=int, default=200,
+                        help="generated query count (default 200)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="generator seed (default 7)")
+    parser.add_argument("--scale", type=float, default=0.0002,
+                        help="dataset scale factor (default 0.0002)")
+    parser.add_argument("--dataset-seed", type=int, default=7,
+                        help="dataset seed (default 7)")
+    parser.add_argument("--modes", nargs="*", default=None,
+                        choices=list(MODES),
+                        help=f"differential modes (default {list(MODES)})")
+    parser.add_argument("--corpus-dir", default="fuzz-corpus",
+                        help="corpus/failures output directory")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk workload cache directory")
+    parser.add_argument("--output", default="FUZZ_matrix.json",
+                        help="output JSON path")
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    modes = tuple(args.modes) if args.modes else MODES
+
+    start = time.time()
+    env = build_environment(scale=args.scale, seed=args.dataset_seed,
+                            workload_cache_dir=args.cache_dir)
+    print(f"environment: scale={args.scale}, {env.total_rows:,} rows "
+          f"({time.time() - start:.0f}s)", flush=True)
+
+    def sweep():
+        harness = FuzzHarness(env, seed=args.seed, modes=modes)
+        return harness.run(args.queries)
+
+    report = sweep()
+    print(f"sweep 1: {report.checks} checks, "
+          f"{report.infeasible} infeasible, "
+          f"{len(report.failures)} failures "
+          f"({time.time() - start:.0f}s)", flush=True)
+    replay = sweep()
+    print(f"sweep 2: {replay.checks} checks, "
+          f"{len(replay.failures)} failures", flush=True)
+    deterministic = (json.dumps(report.to_dict(), sort_keys=True)
+                     == json.dumps(replay.to_dict(), sort_keys=True))
+
+    paths = write_corpus(report, args.corpus_dir)
+    payload = {
+        "scale": args.scale,
+        "dataset_seed": args.dataset_seed,
+        "generator_seed": args.seed,
+        "queries": args.queries,
+        "modes": list(modes),
+        "deterministic": deterministic,
+        "report": report.to_dict(),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+    for failure in report.failures:
+        print(f"FAIL {failure.name} [{failure.mode}/{failure.kind}] "
+              f"{failure.detail}")
+        if failure.shrunk_sql:
+            print(f"  shrunk: {failure.shrunk_sql!r}")
+    print(f"\ncorpus in {paths['corpus']}; deterministic={deterministic}; "
+          f"total {time.time() - start:.0f}s; results in {args.output}")
+    return 0 if report.ok and deterministic else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

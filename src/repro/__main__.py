@@ -7,6 +7,7 @@
     python -m repro trace 8c --strategy split:best --out 8c.json
     python -m repro chaos 8c --seed 5         # fault-injection scenarios
     python -m repro bench-concurrent --clients 8   # concurrent workload
+    python -m repro fuzz --queries 50 --seed 7     # differential fuzzing
     python -m repro experiment fig11          # a paper experiment
     python -m repro list-queries              # the JOB suite
 
@@ -272,6 +273,41 @@ def cmd_bench_cluster(args):
     return 0
 
 
+def cmd_fuzz(args):
+    from repro.bench.fuzz import (MODES, FuzzHarness, replay_failures,
+                                  write_corpus)
+    env = _build_env(args)
+    modes = tuple(args.modes or MODES)
+    if args.replay:
+        reports = replay_failures(env, args.replay, modes=modes)
+    else:
+        harness = FuzzHarness(env, seed=args.workload_seed, modes=modes)
+        reports = [harness.run(args.queries)]
+    failures = 0
+    for report in reports:
+        failures += len(report.failures)
+        rows = [
+            ["generator seed", report.seed],
+            ["queries", report.queries],
+            ["modes", ", ".join(report.modes)],
+            ["checks", report.checks],
+            ["infeasible", report.infeasible],
+            ["failures", len(report.failures)],
+        ]
+        print(format_table(["metric", "value"], rows,
+                           title="differential fuzz sweep"))
+        for failure in report.failures:
+            print(f"FAIL {failure.name} [{failure.mode}/{failure.kind}] "
+                  f"{failure.detail}")
+            if failure.shrunk_sql:
+                print(f"  shrunk: {failure.shrunk_sql!r}")
+        if args.corpus_dir:
+            paths = write_corpus(report, args.corpus_dir)
+            for kind, path in paths.items():
+                print(f"{kind} written to {path}")
+    return 1 if failures else 0
+
+
 def cmd_experiment(args):
     env = _build_env(args)
     result = _EXPERIMENTS[args.name](env)
@@ -403,6 +439,24 @@ def build_parser():
                                help="also write the matrix JSON to this "
                                     "path")
     bench_cluster.set_defaults(func=cmd_bench_cluster)
+
+    fuzz = sub.add_parser(
+        "fuzz", parents=[execution],
+        help="differential fuzzing: generated SQL across host, split, "
+             "scheduler, and cluster execution (--seed is the generator "
+             "seed)")
+    fuzz.add_argument("--queries", type=int, default=50,
+                      help="number of generated queries (default 50)")
+    fuzz.add_argument("--mode", dest="modes", action="append", default=None,
+                      choices=["host", "split", "scheduler", "cluster2",
+                               "cluster4"],
+                      help="run only this mode (repeatable; default all)")
+    fuzz.add_argument("--corpus-dir", default=None,
+                      help="write corpus.jsonl (+ failures.jsonl) here")
+    fuzz.add_argument("--replay", default=None,
+                      help="re-run the (seed, index) entries of this "
+                           "corpus/failures jsonl instead of generating")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     experiment = sub.add_parser("experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -10,6 +10,8 @@ from repro.bench.chaos import (SCENARIOS, chaos_matrix, run_chaos,
 from repro.bench.cluster import cluster_matrix, run_cluster_benchmark
 from repro.bench.concurrency import (concurrency_matrix, percentile,
                                      run_concurrency_benchmark)
+from repro.bench.fuzz import (FuzzFailure, FuzzHarness, FuzzReport,
+                              replay_failures, shrink_sql, write_corpus)
 from repro.bench.experiments import (
     classify_matrix,
     exp_intro_fig2,
@@ -40,6 +42,12 @@ __all__ = [
     "concurrency_matrix",
     "run_cluster_benchmark",
     "cluster_matrix",
+    "FuzzFailure",
+    "FuzzHarness",
+    "FuzzReport",
+    "replay_failures",
+    "shrink_sql",
+    "write_corpus",
     "percentile",
     "exp_intro_fig2",
     "exp1_stacks_fig11",

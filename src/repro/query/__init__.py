@@ -19,6 +19,7 @@ from repro.query.ast import (
     Or,
 )
 from repro.query.parser import parse_query
+from repro.query.render import render_expr, render_query
 from repro.query.logical import JoinEdge, QuerySpec, analyze
 from repro.query.physical import AccessPath, JoinAlgorithm, QueryPlan, TableAccess
 from repro.query.optimizer import build_plan
@@ -35,6 +36,8 @@ __all__ = [
     "Not",
     "Or",
     "parse_query",
+    "render_expr",
+    "render_query",
     "QuerySpec",
     "JoinEdge",
     "analyze",

@@ -147,7 +147,15 @@ class _Parser:
         limit = None
         if self._accept("keyword", "limit"):
             token = self._expect("number")
+            if "." in token.text:
+                raise ParseError(
+                    f"LIMIT must be an integer, found {token.text!r}",
+                    token.position)
             limit = int(token.text)
+            if limit < 0:
+                raise ParseError(
+                    f"LIMIT must be non-negative, found {token.text!r}",
+                    token.position)
         self._accept("punct", ";")
         self._expect("eof")
         return ParsedQuery(items, tables, where, group_by, limit)
@@ -297,8 +305,28 @@ class _Parser:
 
     @staticmethod
     def _unquote(text):
+        """Decode a quoted string literal body in one left-to-right pass.
+
+        ``''`` and ``\\'`` decode to a quote and ``\\\\`` to one
+        backslash — sequentially, so escapes never overlap (the old
+        chained ``str.replace`` mangled a quote preceded by an escaped
+        backslash).
+        """
         body = text[1:-1]
-        return body.replace("''", "'").replace("\\'", "'")
+        out = []
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "'" and i + 1 < len(body) and body[i + 1] == "'":
+                out.append("'")
+                i += 2
+            elif ch == "\\" and i + 1 < len(body):
+                out.append(body[i + 1])
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
 
 
 def parse_query(sql):

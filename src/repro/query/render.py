@@ -1,0 +1,113 @@
+"""SQL rendering: the inverse of :mod:`repro.query.parser`.
+
+``render_query`` turns a :class:`~repro.query.parser.ParsedQuery` back
+into SQL text that parses to an equal ``ParsedQuery`` — the fixpoint the
+workload generator's property tests pin (``parse(render(parse(sql)))
+== parse(sql)``).  The renderer is deliberately canonical rather than
+source-preserving: redundant parentheses disappear, keywords come out
+upper-case, and string literals are re-escaped (quotes doubled,
+backslashes doubled), so rendering twice is byte-stable.
+
+The random SQL generator (:mod:`repro.workloads.sqlgen`) and the fuzz
+shrinker (:mod:`repro.bench.fuzz`) both build/transform queries at the
+``ParsedQuery`` level and rely on this module for the final text.
+"""
+
+from repro.errors import ReproError
+from repro.query.ast import (And, Between, ColumnRef, Comparison, InList,
+                             IsNull, Like, Literal, Not, Or)
+
+
+def render_string(value):
+    """A SQL string literal with quotes and backslashes escaped."""
+    body = value.replace("\\", "\\\\").replace("'", "''")
+    return f"'{body}'"
+
+
+def render_value(value):
+    """A SQL literal for a python constant (int, float, or str)."""
+    if isinstance(value, bool):
+        raise ReproError("boolean literals are not part of the grammar")
+    if isinstance(value, str):
+        return render_string(value)
+    if isinstance(value, float):
+        # repr keeps the decimal point, so it re-parses as a float.
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    raise ReproError(f"cannot render literal {value!r}")
+
+
+def render_expr(expr, parenthesize=False):
+    """Render one predicate expression.
+
+    ``parenthesize`` wraps OR groups so they survive embedding in an
+    AND conjunction; all other nodes bind tighter than AND and never
+    need parentheses.
+    """
+    if isinstance(expr, ColumnRef):
+        return expr.qualified
+    if isinstance(expr, Literal):
+        return render_value(expr.value)
+    if isinstance(expr, Comparison):
+        return (f"{render_expr(expr.left)} {expr.op} "
+                f"{render_expr(expr.right)}")
+    if isinstance(expr, Like):
+        op = "NOT LIKE" if expr.negated else "LIKE"
+        return (f"{render_expr(expr.operand)} {op} "
+                f"{render_string(expr.pattern)}")
+    if isinstance(expr, InList):
+        op = "NOT IN" if expr.negated else "IN"
+        values = ", ".join(render_value(v) for v in expr.values)
+        return f"{render_expr(expr.operand)} {op} ({values})"
+    if isinstance(expr, Between):
+        return (f"{render_expr(expr.operand)} BETWEEN "
+                f"{render_expr(expr.low)} AND {render_expr(expr.high)}")
+    if isinstance(expr, IsNull):
+        op = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{render_expr(expr.operand)} {op}"
+    if isinstance(expr, Not):
+        return f"NOT ({render_expr(expr.operand)})"
+    if isinstance(expr, And):
+        rendered = " AND ".join(render_expr(item, parenthesize=True)
+                                for item in expr.items)
+        return f"({rendered})" if parenthesize else rendered
+    if isinstance(expr, Or):
+        rendered = " OR ".join(render_expr(item) for item in expr.items)
+        return f"({rendered})"
+    raise ReproError(f"cannot render expression of type {type(expr)}")
+
+
+def render_select_item(item):
+    """Render one SELECT-list entry."""
+    if item.aggregate:
+        inner = "*" if item.expr == "*" else render_expr(item.expr)
+        text = f"{item.aggregate.upper()}({inner})"
+    elif item.expr == "*":
+        return "*"
+    else:
+        text = render_expr(item.expr)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def render_query(parsed):
+    """Render a :class:`~repro.query.parser.ParsedQuery` as SQL text."""
+    select = ", ".join(render_select_item(item)
+                       for item in parsed.select_items)
+    tables = ", ".join(f"{name} AS {alias}"
+                       for name, alias in parsed.tables)
+    parts = [f"SELECT {select}", f"FROM {tables}"]
+    if parsed.where is not None:
+        parts.append(f"WHERE {render_expr(parsed.where)}")
+    if parsed.group_by:
+        cols = ", ".join(render_expr(col) for col in parsed.group_by)
+        parts.append(f"GROUP BY {cols}")
+    if parsed.limit is not None:
+        parts.append(f"LIMIT {parsed.limit}")
+    return "\n".join(parts)
+
+
+__all__ = ["render_expr", "render_query", "render_select_item",
+           "render_string", "render_value"]

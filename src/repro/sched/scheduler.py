@@ -170,11 +170,16 @@ class WorkloadScheduler:
     :class:`repro.cluster.ScatterGatherExecutor` instead.
     """
 
-    def __init__(self, env, ctx=None, max_inflight=None, cluster=None):
+    def __init__(self, env, ctx=None, max_inflight=None, cluster=None,
+                 queries=None):
         self.env = env
         self.runner = env.runner
         self.planner = env.planner
         self.cluster = cluster
+        #: Optional ``{name: sql}`` mapping consulted before the JOB
+        #: catalog, so generated workloads (:mod:`repro.workloads.sqlgen`)
+        #: schedule exactly like named JOB queries.
+        self.queries = dict(queries) if queries else {}
         base = ExecutionContext.coerce(ctx)
         #: The context scheduler-driven executions run under.
         self.ctx = base.with_scheduler(self)
@@ -202,9 +207,17 @@ class WorkloadScheduler:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
+    def _sql_for(self, name):
+        """Resolve a query name: the ``queries`` mapping wins, then the
+        JOB catalog."""
+        if name in self.queries:
+            return self.queries[name]
+        return job_query(name)
+
     def submit(self, name, at=0.0, client=None):
-        """Submit JOB query ``name`` at simulated time ``at``."""
-        job = QueryJob(seq=len(self.jobs), name=name, sql=job_query(name),
+        """Submit query ``name`` (JOB or ``queries=``-registered) at
+        simulated time ``at``."""
+        job = QueryJob(seq=len(self.jobs), name=name, sql=self._sql_for(name),
                        arrival=at, client=client)
         self.jobs.append(job)
         self.kernel.loop.schedule_at(at, lambda: self._arrive(job),

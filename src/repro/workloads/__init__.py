@@ -5,8 +5,10 @@ The paper evaluates on JOB [Leis et al., VLDB 2015] over the IMDB dataset
 lengths for character values and 4-byte integers.  This package provides
 the 21-table schema, a seeded synthetic generator whose value
 distributions carry the constants the queries filter on, all 33 query
-families with their 113 variants, and a loader that builds a ready
-environment at a configurable scale factor.
+families with their 113 variants, a loader that builds a ready
+environment at a configurable scale factor, and a seed-deterministic
+random query generator (:mod:`repro.workloads.sqlgen`) for workloads
+beyond the fixed JOB diet.
 """
 
 from repro.workloads.imdb_schema import JOB_TABLE_NAMES, imdb_schemas
@@ -14,8 +16,14 @@ from repro.workloads.generator import DatasetSpec, generate_dataset
 from repro.workloads.job_queries import (JOB_FAMILIES, all_queries,
                                          queries_in_family, query)
 from repro.workloads.loader import Environment, build_environment
+from repro.workloads.sqlgen import (GeneratedQuery, RandomSqlGenerator,
+                                    SqlGenConfig, generate_corpus)
 
 __all__ = [
+    "GeneratedQuery",
+    "RandomSqlGenerator",
+    "SqlGenConfig",
+    "generate_corpus",
     "JOB_TABLE_NAMES",
     "imdb_schemas",
     "DatasetSpec",

@@ -159,3 +159,112 @@ class TestClauses:
     def test_missing_from_rejected(self):
         with pytest.raises(ParseError):
             parse_query("SELECT t.a WHERE t.a = 1")
+
+
+class TestParserEdgeCases:
+    """Corners the random workload generator can emit (or nearly emit):
+    IN lists, BETWEEN, escaped strings, redundant parentheses — every
+    malformed variant must raise :class:`ParseError`, never a bare
+    traceback."""
+
+    def test_in_list_single_value(self):
+        expr = parse_query("SELECT t.a FROM t WHERE t.x IN ('only')").where
+        assert expr == InList(ColumnRef("t", "x"), ("only",))
+
+    def test_in_list_mixed_literals(self):
+        expr = parse_query(
+            "SELECT t.a FROM t WHERE t.x IN (1, 2.5, 'three')").where
+        assert expr.values == (1, 2.5, "three")
+
+    def test_empty_in_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE t.x IN ()")
+
+    def test_in_list_trailing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE t.x IN ('a',)")
+
+    def test_in_list_unclosed_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE t.x IN ('a', 'b'")
+
+    def test_between_negative_bounds(self):
+        expr = parse_query(
+            "SELECT t.a FROM t WHERE t.x BETWEEN -5 AND -1").where
+        assert expr == Between(ColumnRef("t", "x"),
+                               Literal(-5), Literal(-1))
+
+    def test_between_missing_and_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE t.x BETWEEN 1 2")
+
+    def test_between_missing_high_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE t.x BETWEEN 1 AND")
+
+    def test_doubled_quote_decodes_to_one(self):
+        expr = parse_query(
+            "SELECT t.a FROM t WHERE t.x = 'it''s'").where
+        assert expr.right == Literal("it's")
+
+    def test_backslash_escaped_quote(self):
+        expr = parse_query(
+            "SELECT t.a FROM t WHERE t.x = 'it\\'s'").where
+        assert expr.right == Literal("it's")
+
+    def test_escaped_backslash_then_quote(self):
+        # '\\' is one literal backslash; the following '' is one quote —
+        # the old chained-replace decoder collapsed these wrongly.
+        expr = parse_query(
+            "SELECT t.a FROM t WHERE t.x = 'a\\\\''b'").where
+        assert expr.right == Literal("a\\'b")
+
+    def test_trailing_escaped_backslash(self):
+        expr = parse_query(
+            "SELECT t.a FROM t WHERE t.x = 'a\\\\'").where
+        assert expr.right == Literal("a\\")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE t.x = 'oops")
+
+    def test_redundant_parentheses_collapse(self):
+        plain = parse_query("SELECT t.a FROM t WHERE t.x = 1").where
+        wrapped = parse_query(
+            "SELECT t.a FROM t WHERE ((((t.x = 1))))").where
+        assert wrapped == plain
+
+    def test_parenthesized_conjunction_each_side(self):
+        expr = parse_query(
+            "SELECT t.a FROM t WHERE (t.x = 1) AND (t.y = 2)").where
+        assert isinstance(expr, And)
+        assert len(expr.items) == 2
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE ((t.x = 1)")
+
+    def test_empty_parentheses_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t WHERE ()")
+
+    def test_limit_float_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t LIMIT 1.5")
+
+    def test_limit_negative_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t LIMIT -3")
+
+    def test_limit_non_number_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT t.a FROM t LIMIT many")
+
+    def test_every_parse_error_carries_reproerror_lineage(self):
+        from repro.errors import ReproError
+        for bad in ["SELECT t.a FROM t WHERE t.x IN ()",
+                    "SELECT t.a FROM t WHERE t.x BETWEEN 1",
+                    "SELECT t.a FROM t WHERE t.x = 'oops",
+                    "SELECT t.a FROM t LIMIT 1.5"]:
+            with pytest.raises(ReproError):
+                parse_query(bad)
