@@ -18,10 +18,12 @@ import json
 import sys
 import time
 
-from repro.bench.chaos import SCENARIOS, chaos_matrix
+from repro.bench.chaos import (ROBUSTNESS_SCENARIOS, SCENARIOS,
+                               chaos_matrix, generated_queries)
 from repro.workloads.loader import build_environment
 
 DEFAULT_QUERIES = ["1a", "2d", "6b", "8c", "17b", "32a"]
+ALL_SCENARIOS = {**SCENARIOS, **ROBUSTNESS_SCENARIOS}
 
 
 def parse_args(argv=None):
@@ -38,7 +40,11 @@ def parse_args(argv=None):
     parser.add_argument("--scenario", dest="scenarios", action="append",
                         default=None,
                         help="run only this scenario (repeatable; "
-                             f"known: {', '.join(sorted(SCENARIOS))})")
+                             f"known: {', '.join(sorted(ALL_SCENARIOS))}; "
+                             "default: the single-device catalogue)")
+    parser.add_argument("--generated", type=int, default=0, metavar="N",
+                        help="additionally chaos N random sqlgen queries "
+                             "(named gen0..genN-1, seeded by --fault-seed)")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk workload cache directory")
     parser.add_argument("--trace-dir", default=None,
@@ -66,9 +72,17 @@ def main(argv=None):
               f"host={summary['baseline_time'] * 1e3:8.2f} ms  {verdict}",
               flush=True)
 
-    matrix = chaos_matrix(env, args.queries, scenarios=args.scenarios,
+    names = list(args.queries)
+    queries = None
+    if args.generated:
+        queries = generated_queries(args.generated, seed=args.fault_seed)
+        names += sorted(queries)
+        print(f"generated workload: {', '.join(sorted(queries))}",
+              flush=True)
+
+    matrix = chaos_matrix(env, names, scenarios=args.scenarios,
                           seed=args.fault_seed, trace_dir=args.trace_dir,
-                          on_result=on_result)
+                          on_result=on_result, queries=queries)
 
     cells = [summary for row in matrix.values() for summary in row.values()]
     failures = [summary for summary in cells if not summary["ok"]]

@@ -169,18 +169,29 @@ def cmd_sweep(args):
 
 
 def cmd_chaos(args):
-    from repro.bench.chaos import SCENARIOS, chaos_matrix
+    from repro.bench.chaos import (SCENARIOS, chaos_matrix,
+                                   generated_queries)
     env = _build_env(args)
     scenarios = args.scenarios or sorted(SCENARIOS)
+    names = [args.query] if args.query else []
+    queries = None
+    if args.generated:
+        queries = generated_queries(args.generated,
+                                    seed=args.workload_seed)
+        names += sorted(queries)
+    if not names:
+        print("chaos needs a query name and/or --generated N")
+        return 2
     rows = []
     failures = 0
     for scenario_row in chaos_matrix(
-            env, [args.query], scenarios=scenarios,
+            env, names, scenarios=scenarios,
             seed=args.workload_seed,
-            trace_dir=args.trace_dir).values():
+            trace_dir=args.trace_dir, queries=queries).values():
         for summary in scenario_row.values():
             failures += 0 if summary["ok"] else 1
             rows.append([
+                summary["query"],
                 summary["scenario"], summary["strategy"],
                 "yes" if summary["rows_match"] else "NO",
                 summary["retries"],
@@ -190,10 +201,10 @@ def cmd_chaos(args):
                           in summary["faults_injected"].items()) or "-",
             ])
     print(format_table(
-        ["scenario", "strategy", "rows ok", "retries", "faulted [ms]",
-         "host [ms]", "faults injected"], rows,
-        title=f"Q{args.query} chaos matrix "
-              f"(fault seed {args.workload_seed})"))
+        ["query", "scenario", "strategy", "rows ok", "retries",
+         "faulted [ms]", "host [ms]", "faults injected"], rows,
+        title=f"chaos matrix ({', '.join(names)}; "
+              f"fault seed {args.workload_seed})"))
     if args.trace_dir:
         print(f"fault-annotated traces written to {args.trace_dir}/")
     return 1 if failures else 0
@@ -392,11 +403,18 @@ def build_parser():
 
     chaos = sub.add_parser(
         "chaos", parents=[execution],
-        help="run one query under the fault-injection scenarios")
-    chaos.add_argument("query")
+        help="run queries under the fault-injection scenarios")
+    chaos.add_argument("query", nargs="?", default=None,
+                       help="JOB query name (optional with --generated)")
     chaos.add_argument("--scenario", dest="scenarios", action="append",
                        default=None,
-                       help="run only this scenario (repeatable)")
+                       help="run only this scenario (repeatable; includes "
+                            "the scale-out robustness scenarios "
+                            "straggler_device / double_device_failure / "
+                            "deadline_shedding)")
+    chaos.add_argument("--generated", type=int, default=0, metavar="N",
+                       help="additionally chaos N random sqlgen queries "
+                            "(seeded by --seed)")
     chaos.set_defaults(func=cmd_chaos)
 
     bench = sub.add_parser(

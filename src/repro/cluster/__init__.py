@@ -9,8 +9,9 @@ host merges the partial results with a single finalize.  See
 """
 
 from repro.cluster.cluster import (ClusterFaultPlan, DeviceCluster,
-                                   ScatterGatherExecutor)
+                                   ScatterGatherExecutor,
+                                   SpeculationPolicy)
 from repro.cluster.partition import Partitioner, TableShard
 
 __all__ = ["DeviceCluster", "ScatterGatherExecutor", "ClusterFaultPlan",
-           "Partitioner", "TableShard"]
+           "SpeculationPolicy", "Partitioner", "TableShard"]

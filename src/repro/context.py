@@ -43,12 +43,27 @@ class ExecutionContext:
         standalone runs.  Scheduler-driven executions share the
         scheduler's simulated kernel instead of building private
         resources.
+    ``deadline``
+        A per-query *simulated-time* budget in seconds, or ``None`` for
+        unbounded runs.  Enforced cooperatively at every layer: a single
+        run past its deadline is cancelled (reservations released) and
+        raises :class:`~repro.errors.DeadlineExceededError` with a
+        partial audit; the workload scheduler sheds queued jobs whose
+        deadline already passed and cancels in-flight offloads at the
+        deadline (docs/robustness.md, "Stragglers, speculation, and
+        deadlines").
     """
 
     tracer: object = None
     faults: object = None
     retry_policy: object = None
     scheduler: object = None
+    deadline: float = None
+
+    def __post_init__(self):
+        if self.deadline is not None and self.deadline <= 0:
+            raise ReproError("deadline must be a positive number of "
+                             "simulated seconds (or None)")
 
     @classmethod
     def coerce(cls, ctx=None):

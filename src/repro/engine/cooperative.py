@@ -30,8 +30,8 @@ from repro.context import ExecutionContext, reject_removed_kwargs
 from repro.engine.counters import WorkCounters
 from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
 from repro.engine.timing import ExecutionLocation
-from repro.errors import (PlanError, ReproError, RetriesExhaustedError,
-                          TransientDeviceError)
+from repro.errors import (DeadlineExceededError, PlanError, ReproError,
+                          RetriesExhaustedError, TransientDeviceError)
 from repro.faults import FAULTS_TRACK, NULL_INJECTOR
 from repro.query.ast import conjuncts
 from repro.sim import (DEVICE_RESOURCE, HOST_RESOURCE, LINK_RESOURCE,
@@ -131,6 +131,11 @@ class _SplitSimulation:
         self.host_end = 0.0
         self.retries = 0          # failed NDP command submissions
         self.wasted_time = 0.0    # failed-attempt link time + backoffs
+        self.slow_time = 0.0      # extra compute from SlowDeviceModel
+        self.completed = False    # host epilogue ran
+        self.cancelled = False    # cooperatively cancelled (see cancel())
+        self.cancelled_at = None
+        self.cancel_reason = None
 
     # -- helpers -------------------------------------------------------
     def _phase(self, actor, kind, start, end, label, resource="",
@@ -214,7 +219,42 @@ class _SplitSimulation:
         self.loop.schedule_at(at, self._begin,
                               label=f"begin {self.trace_label}")
 
+    def cancel(self, now, reason="cancelled"):
+        """Cooperatively cancel this run at simulated time ``now``.
+
+        Already-scheduled events become no-ops (every event entry point
+        checks the flag), so no *new* resource time is booked after the
+        cancellation; busy intervals already *served* stand — they are
+        the honest wasted cost, which the caller audits as
+        ``now - origin`` — but a booking still in flight at ``now`` is
+        truncated (:meth:`~repro.sim.resources.BusyResource.truncate`),
+        so a cancelled straggler does not hold its core into the far
+        future.  Device DRAM buffers are *not* released here:
+        the owning :class:`PreparedSplit` (or ``run_split``'s finally)
+        calls ``release()``, keeping reservation accounting in exactly
+        one place.  Returns False if the run already completed or was
+        already cancelled.
+        """
+        if self.cancelled or self.completed:
+            return False
+        self.cancelled = True
+        self.cancelled_at = now
+        self.cancel_reason = reason
+        for resource in (self.core, self.link, self.cpu):
+            resource.truncate(now)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                FAULTS_TRACK, f"cancelled: {reason}", now,
+                args={"strategy": self.strategy_label,
+                      "label": self.trace_label})
+        if self.root_span is not None:
+            self.tracer.end(self.root_span, now)
+            self.root_span = None
+        return True
+
     def _begin(self):
+        if self.cancelled:
+            return
         offset = self.origin + self.start_offset
         if self.start_offset > 0.0:
             # Admission control waited for a DRAM-pressure window to
@@ -225,6 +265,8 @@ class _SplitSimulation:
         self._submit(0, offset)
 
     def _submit(self, attempt, at):
+        if self.cancelled:
+            return
         # The host assembles the NDP command and pushes its payload over
         # the link; the device cannot start before the command arrived.
         # Submission may fail transiently (fault injection): each failed
@@ -287,11 +329,15 @@ class _SplitSimulation:
         if self.root_span is not None:
             self.tracer.end(self.root_span, now)
             self.root_span = None
+        # Wasted time is the *elapsed* attempt time, not the absolute sim
+        # time: on a shared kernel this attempt started at origin > 0, and
+        # a partition that cascades through several devices accumulates
+        # each attempt's elapsed cost — absolute times would over-count.
         error = RetriesExhaustedError(
             f"{self.strategy_label}: NDP command submission failed "
             f"{self.retries} time(s), retries exhausted",
             strategy=self.strategy_label, retries=self.retries,
-            wasted_time=now,
+            wasted_time=now - self.origin,
             faults_injected=self.injector.faults_injected())
         if self.on_abandon is not None:
             self.on_abandon(self, error)
@@ -301,7 +347,7 @@ class _SplitSimulation:
     # -- device process ------------------------------------------------
     def _device_next(self, i):
         """Try to start producing batch ``i`` at the current sim time."""
-        if i >= self.n_batches:
+        if self.cancelled or i >= self.n_batches:
             return
         if i >= self.slots and self.consumed[i - self.slots] is None:
             # All slots hold unconsumed batches: stall until one frees.
@@ -310,6 +356,8 @@ class _SplitSimulation:
         self._device_produce(i)
 
     def _device_produce(self, i):
+        if self.cancelled:
+            return
         now = self.clock.now
         if self.injector.enabled:
             online = self.injector.core_offline_until(now)
@@ -325,7 +373,11 @@ class _SplitSimulation:
                                       lambda: self._device_produce(i),
                                       label=f"core online for batch {i}")
                 return
-        begin, end = self.core.acquire(now, self.per_batch_device,
+        per_batch = self.per_batch_device
+        if self.injector.enabled:
+            per_batch = self.injector.scale_compute(now, per_batch)
+            self.slow_time += per_batch - self.per_batch_device
+        begin, end = self.core.acquire(now, per_batch,
                                        label=f"produce batch {i}")
         if self.shared and begin > now:
             # Another query's fragment occupies the NDP core: the wait
@@ -342,6 +394,8 @@ class _SplitSimulation:
                               label=f"device produced {i}")
 
     def _device_produced(self, i):
+        if self.cancelled:
+            return
         now = self.clock.now
         batch = self.batches[i]
         if batch:
@@ -372,6 +426,8 @@ class _SplitSimulation:
         self._device_next(i + 1)
 
     def _batch_ready(self, i):
+        if self.cancelled:
+            return
         self.ready[i] = self.clock.now
         if self.host_blocked is not None and self.host_blocked[0] == i:
             index, since = self.host_blocked
@@ -382,6 +438,8 @@ class _SplitSimulation:
 
     # -- host process --------------------------------------------------
     def _host_want(self, i):
+        if self.cancelled:
+            return
         if i >= self.n_batches:
             self._host_epilogue()
             return
@@ -391,6 +449,8 @@ class _SplitSimulation:
             self.host_blocked = (i, self.clock.now)
 
     def _host_fetch(self, i):
+        if self.cancelled:
+            return
         now = self.clock.now
         if self.batches[i]:
             fetch = self.timing.fetch_command_time()
@@ -412,6 +472,8 @@ class _SplitSimulation:
                                   label=f"host consume {i} (empty)")
 
     def _host_consume(self, i):
+        if self.cancelled:
+            return
         now = self.clock.now
         self.consumed[i] = now
         if (self.device_blocked is not None
@@ -444,6 +506,8 @@ class _SplitSimulation:
                               label=f"host want {i + 1}")
 
     def _host_epilogue(self):
+        if self.cancelled:
+            return
         now = self.clock.now
         if self.finalize:
             epilogue, delta = self._host_charge(
@@ -459,6 +523,7 @@ class _SplitSimulation:
             # ``joined_rows``; the scatter-gather merge finalizes them.
             end = now
         self.host_end = end
+        self.completed = True
         if self.shared:
             if self.root_span is not None:
                 self.tracer.end(self.root_span, end)
@@ -517,6 +582,18 @@ class PreparedSplit:
         """Start the staged simulation on its shared kernel at ``at``."""
         self.sim.start(at, on_complete=on_complete, on_abandon=on_abandon)
 
+    def cancel(self, now, reason="cancelled"):
+        """Cooperatively cancel the in-flight simulation and release.
+
+        Safe at any point of the life cycle: a completed or already
+        cancelled simulation is left alone, and the DRAM reservation
+        release is idempotent.  Returns whether the simulation was
+        actually cancelled by this call.
+        """
+        cancelled = self.sim.cancel(now, reason=reason)
+        self.release()
+        return cancelled
+
     def release(self):
         """Release the device pipeline buffers (idempotent)."""
         if not self._released:
@@ -543,7 +620,7 @@ class PreparedSplit:
             host_wait_other=sim.host_wait_other,
             transfer_time=sim.transfer_total,
             host_processing_time=sim.host_processing,
-            device_busy_time=self.device_time,
+            device_busy_time=self.device_time + sim.slow_time,
             device_stall_time=sim.device_stall,
             batches=self.n_batches,
             intermediate_rows=self.intermediate_rows,
@@ -673,7 +750,26 @@ class CooperativeExecutor:
             prepared = self._prepare_split_attached(
                 plan, split_index, tracer, injector, *fragments)
             try:
-                total = prepared.sim.run()
+                sim = prepared.sim
+                if ctx.deadline is not None:
+                    sim.loop.schedule_at(
+                        ctx.deadline,
+                        lambda: sim.cancel(ctx.deadline, reason="deadline"),
+                        label="deadline")
+                total = sim.run()
+                if sim.cancelled:
+                    raise DeadlineExceededError(
+                        f"H{split_index}: deadline {ctx.deadline}s expired "
+                        f"before completion (cancelled in flight)",
+                        deadline=ctx.deadline, elapsed=ctx.deadline,
+                        retries=sim.retries, wasted_time=ctx.deadline,
+                        faults_injected=injector.faults_injected(),
+                        partial={
+                            "strategy": f"H{split_index}",
+                            "batches_total": sim.n_batches,
+                            "batches_consumed": sum(
+                                1 for t in sim.consumed if t is not None),
+                        })
                 return prepared.build_report(
                     total,
                     resource_stats=prepared.sim.resource_stats(total))
@@ -720,7 +816,9 @@ class CooperativeExecutor:
             needed = self.ndp.device.pipeline_cost_bytes(
                 *command.pipeline_shape())
             admission_wait = injector.admission_delay(
-                needed, self.ndp.device.available_bytes)
+                needed, self.ndp.device.available_bytes,
+                query=trace_label or f"H{split_index}",
+                device=self.ndp.device.spec.name)
         execution = self.ndp.execute(command)
         try:
             device_time, device_breakdown = self.timing.charge(
@@ -778,9 +876,10 @@ class CooperativeExecutor:
         tracer = ctx.sim_tracer()
         injector = ctx.injector()
         with injector.attached(self.ndp.device):
-            return self._run_full_ndp_attached(plan, tracer, injector)
+            return self._run_full_ndp_attached(plan, tracer, injector,
+                                               deadline=ctx.deadline)
 
-    def _run_full_ndp_attached(self, plan, tracer, injector):
+    def _run_full_ndp_attached(self, plan, tracer, injector, deadline=None):
         device_entries = plan.entries
         device_residual = conjuncts(plan.residual)
         command = self.ndp.prepare_command(
@@ -790,7 +889,8 @@ class CooperativeExecutor:
             needed = self.ndp.device.pipeline_cost_bytes(
                 *command.pipeline_shape())
             admission_wait = injector.admission_delay(
-                needed, self.ndp.device.available_bytes)
+                needed, self.ndp.device.available_bytes,
+                query="full-ndp", device=self.ndp.device.spec.name)
         execution = self.ndp.execute(command)
         try:
             device_time, device_breakdown = self.timing.charge(
@@ -888,7 +988,12 @@ class CooperativeExecutor:
                         "device", "stall", setup_end, online,
                         "NDP core offline", resource=DEVICE_RESOURCE))
                     compute_start = online
-            _c0, compute_end = core.acquire(compute_start, device_time,
+            effective_device_time = device_time
+            if injector.enabled:
+                effective_device_time = injector.scale_compute(
+                    compute_start, device_time)
+            _c0, compute_end = core.acquire(compute_start,
+                                            effective_device_time,
                                             label="full QEP")
             if injector.enabled:
                 transfer = injector.scale_transfer(compute_end, transfer)
@@ -922,9 +1027,23 @@ class CooperativeExecutor:
                                 phase.start, phase.end, category=phase.kind,
                                 parent=root_span, args=args)
                 tracer.end(root_span, total)
+            if deadline is not None and total > deadline:
+                # A full-NDP offload is one non-cancellable command: the
+                # host gives up waiting at the deadline and the device's
+                # result is discarded.
+                if root_span is not None:
+                    tracer.end(root_span, deadline)
+                raise DeadlineExceededError(
+                    f"full-ndp: deadline {deadline}s expired before the "
+                    f"result push finished (would have taken {total:.6f}s)",
+                    deadline=deadline, elapsed=deadline, retries=retries,
+                    wasted_time=deadline,
+                    faults_injected=injector.faults_injected(),
+                    partial={"strategy": "full-ndp",
+                             "would_have_taken": total})
             resource_stats = {r.name: r.stats(total)
                               for r in (link, core, cpu)}
-            host_wait = device_time
+            host_wait = effective_device_time
             if injector.enabled:
                 host_wait += core_stall + extra_wait
             report = ExecutionReport(
@@ -937,7 +1056,7 @@ class CooperativeExecutor:
                 setup_time=setup_time,
                 host_wait_initial=host_wait,
                 transfer_time=transfer,
-                device_busy_time=device_time,
+                device_busy_time=effective_device_time,
                 device_stall_time=core_stall,
                 batches=1,
                 intermediate_rows=len(execution.rows),

@@ -151,7 +151,13 @@ class ExecutionReport:
     #: instead of appearing only on degraded ones.  v3: the ``cluster``
     #: block is always present (empty ``{}`` for single-device runs;
     #: populated by the scatter-gather executor, docs/cluster.md).
-    SCHEMA_VERSION = 3
+    #: v4: cluster reports carry an always-present
+    #: ``cluster["speculation"]`` sub-block (policy, clone events,
+    #: wasted time — docs/robustness.md); single-device payloads are
+    #: unchanged apart from this version number, and a NULL
+    #: deadline/speculation config reproduces v3 reports byte for byte
+    #: modulo ``schema_version`` (pinned by the golden-report test).
+    SCHEMA_VERSION = 4
 
     def to_dict(self, include_rows=False, include_timeline=False):
         """JSON-serialisable view of the report (for tooling/logs).

@@ -51,6 +51,22 @@ class DeviceOverloadError(ExecutionError):
     """The NDP device ran out of memory or buffer slots for the request."""
 
 
+class AdmissionTimeoutError(DeviceOverloadError):
+    """Admission control gave up waiting for device buffers.
+
+    A :class:`DeviceOverloadError` subclass (existing overload handling —
+    host placement, queueing — applies unchanged) that additionally names
+    *which* query timed out on *which* device so resilience reporting can
+    attribute the fallback.
+    """
+
+    def __init__(self, message, query=None, device=None, waited=0.0):
+        super().__init__(message)
+        self.query = query          # query label, when known
+        self.device = device        # device spec name / index, when known
+        self.waited = waited        # seconds the admission wait would need
+
+
 class OffloadError(ReproError):
     """An NDP offload precondition was violated."""
 
@@ -62,6 +78,27 @@ class TransientDeviceError(ExecutionError):
     failures.  The cooperative executor retries with exponential backoff
     in simulated time instead of failing the strategy outright.
     """
+
+
+class DeadlineExceededError(ExecutionError):
+    """A query blew its simulated-time deadline and was cancelled.
+
+    Carries a partial audit of the work done before cancellation so
+    callers can account the wasted effort: ``deadline`` is the budget,
+    ``elapsed`` the simulated time actually consumed, and ``partial`` a
+    JSON-ready dict of whatever progress the layer that cancelled could
+    observe (completed partitions, retries, wasted time...).
+    """
+
+    def __init__(self, message, deadline=None, elapsed=None, retries=0,
+                 wasted_time=0.0, faults_injected=None, partial=None):
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+        self.retries = retries
+        self.wasted_time = wasted_time
+        self.faults_injected = dict(faults_injected or {})
+        self.partial = dict(partial or {})
 
 
 class RetriesExhaustedError(ExecutionError):

@@ -27,7 +27,7 @@ import random
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.errors import (DeviceOverloadError, ReproError,
+from repro.errors import (AdmissionTimeoutError, ReproError,
                           TransientDeviceError)
 
 #: Trace track carrying fault/degradation instants (see observability doc).
@@ -169,6 +169,32 @@ class CoreFaultModel:
 
 
 @dataclass(frozen=True)
+class SlowDeviceModel:
+    """A straggler device: persistent compute-throughput degradation.
+
+    Distinct from hard failure (:class:`CommandFaultModel` storms) and
+    from core brownouts (:class:`CoreFaultModel`, which *block* the core):
+    inside each window the NDP core still makes progress, just
+    ``slowdown`` times slower — the classic sick-but-alive storage node
+    that stalls a scatter-gather indefinitely unless the cluster
+    speculates (docs/robustness.md, "Stragglers, speculation, and
+    deadlines").
+    """
+
+    windows: tuple = ()
+    slowdown: float = 1.0
+
+    def __post_init__(self):
+        if self.slowdown < 1.0:
+            raise ReproError("device slowdown must be >= 1.0")
+
+    @property
+    def active(self):
+        """Whether this model can inject anything."""
+        return bool(self.windows) and self.slowdown > 1.0
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """How the executor degrades under transient faults.
 
@@ -176,12 +202,18 @@ class RetryPolicy:
     attempt ``n`` (0-based) backs off ``backoff_base * backoff_factor**n``
     simulated seconds before retrying.  ``admission_timeout`` bounds how
     long admission control may wait for device buffers.
+    ``wasted_time_budget`` caps the *total* simulated seconds one query
+    may burn on abandoned device attempts across any number of cluster
+    re-executions — once exceeded, the partition short-circuits to the
+    host fallback instead of trying another survivor (``None`` =
+    unbounded, the pre-budget behaviour).
     """
 
     max_retries: int = 3
     backoff_base: float = 5e-4
     backoff_factor: float = 2.0
     admission_timeout: float = 0.05
+    wasted_time_budget: float = None
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -191,6 +223,9 @@ class RetryPolicy:
                              "non-decreasing")
         if self.admission_timeout < 0:
             raise ReproError("admission timeout must be non-negative")
+        if (self.wasted_time_budget is not None
+                and self.wasted_time_budget < 0):
+            raise ReproError("wasted-time budget must be non-negative")
 
     def backoff(self, attempt):
         """Backoff before re-submitting after failed attempt ``attempt``."""
@@ -212,13 +247,15 @@ class FaultPlan:
     link: LinkFaultModel = field(default_factory=LinkFaultModel)
     dram: DramFaultModel = field(default_factory=DramFaultModel)
     core: CoreFaultModel = field(default_factory=CoreFaultModel)
+    slow: SlowDeviceModel = field(default_factory=SlowDeviceModel)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     @property
     def enabled(self):
         """Whether any fault model can inject anything."""
         return (self.commands.active or self.flash.active
-                or self.link.active or self.dram.active or self.core.active)
+                or self.link.active or self.dram.active or self.core.active
+                or self.slow.active)
 
     def injector(self):
         """A fresh per-run injector (its own RNG seeded from the plan)."""
@@ -254,11 +291,16 @@ class NullFaultInjector:
         """No link degradation."""
         return seconds
 
+    def scale_compute(self, now, seconds):
+        """No device slowdown."""
+        return seconds
+
     def core_offline_until(self, now):
         """The core is always available."""
         return now
 
-    def admission_delay(self, needed_bytes, available_bytes):
+    def admission_delay(self, needed_bytes, available_bytes, query=None,
+                        device=None):
         """No DRAM pressure."""
         return 0.0
 
@@ -365,14 +407,31 @@ class FaultInjector:
             return seconds * model.slowdown
         return seconds
 
+    # -- straggler device (compute slowdown) ---------------------------
+    def scale_compute(self, now, seconds):
+        """Device-compute duration for work starting at ``now``.
+
+        Inside a :class:`SlowDeviceModel` window the NDP core runs
+        ``slowdown`` times slower; the work still completes (unlike a
+        :class:`CoreFaultModel` outage, which blocks it entirely).
+        """
+        model = self.plan.slow
+        if model.active and any(window.contains(now)
+                                for window in model.windows):
+            self._count("slow_device")
+            return seconds * model.slowdown
+        return seconds
+
     # -- device DRAM pressure (admission control) ----------------------
-    def admission_delay(self, needed_bytes, available_bytes):
+    def admission_delay(self, needed_bytes, available_bytes, query=None,
+                        device=None):
         """Seconds admission control must wait before reserving buffers.
 
         Walks the pressure windows from time zero: while the shrunk
         budget cannot host the pipeline, admission moves to the window's
-        end.  Raises :class:`DeviceOverloadError` when the wait would
-        exceed the retry policy's ``admission_timeout``.
+        end.  Raises :class:`AdmissionTimeoutError` (a
+        :class:`DeviceOverloadError`) naming the query and device when
+        the wait would exceed the retry policy's ``admission_timeout``.
         """
         model = self.plan.dram
         if not model.active:
@@ -385,10 +444,13 @@ class FaultInjector:
                 break
             now = window.end
         if now > self.retry.admission_timeout:
-            raise DeviceOverloadError(
-                f"device DRAM pressure holds {model.shrink_bytes} bytes "
-                f"until t={now:.6f}s, past the {self.retry.admission_timeout}s "
-                f"admission timeout")
+            who = f"{query}: " if query else ""
+            where = f" on {device}" if device else ""
+            raise AdmissionTimeoutError(
+                f"{who}device DRAM pressure{where} holds "
+                f"{model.shrink_bytes} bytes until t={now:.6f}s, past the "
+                f"{self.retry.admission_timeout}s admission timeout",
+                query=query, device=device, waited=now)
         if now > 0.0:
             self._count("dram_admission_wait")
         return now

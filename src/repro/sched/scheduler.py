@@ -39,7 +39,8 @@ from dataclasses import dataclass, field
 from repro.context import ExecutionContext
 from repro.core import DeviceLoad, ExecutionStrategy
 from repro.engine.stacks import Stack
-from repro.errors import DeviceOverloadError, ReproError
+from repro.errors import (AdmissionTimeoutError, DeviceOverloadError,
+                          ReproError)
 from repro.sched.arrivals import ClosedLoopArrivals, assign_clients
 from repro.sim import ClusterSimContext, SimContext
 from repro.workloads.job_queries import query as job_query
@@ -57,11 +58,14 @@ class QueryJob:
     sql: str
     arrival: float              # simulated submission time
     client: int = None          # closed-loop client id, None for open loop
+    deadline: float = None      # simulated-time budget after arrival
     plan: object = None
     decision: object = None     # HybridDecision under load, if planned
     placement: str = None       # "host-only" | "Hk" | "host-fallback"
+                                # | "deadline-shed"
     admitted_at: float = None   # when execution actually started
     completed_at: float = None
+    shed_at: float = None       # when the deadline shed/cancelled it
     report: object = None       # ExecutionReport once finished
     error: str = None           # abandon reason, if any
 
@@ -84,6 +88,13 @@ class QueryJob:
         """Unique display label, e.g. ``8c#3``."""
         return f"{self.name}#{self.seq}"
 
+    @property
+    def deadline_at(self):
+        """Absolute simulated time the deadline expires, or None."""
+        if self.deadline is None:
+            return None
+        return self.arrival + self.deadline
+
     def to_dict(self, include_report=False):
         out = {
             "seq": self.seq,
@@ -95,6 +106,8 @@ class QueryJob:
             "latency": self.latency,
             "queue_wait": self.queue_wait,
             "placement": self.placement,
+            "deadline": self.deadline,
+            "shed_at": self.shed_at,
             "rows": (len(self.report.result.rows)
                      if self.report is not None and self.report.result
                      else None),
@@ -118,8 +131,12 @@ class WorkloadResult:
     extras: dict = field(default_factory=dict)
 
     def completed(self):
-        """Jobs that finished (all of them, absent scheduler bugs)."""
+        """Jobs that finished (everything not shed by a deadline)."""
         return [job for job in self.jobs if job.completed_at is not None]
+
+    def shed(self):
+        """Jobs a deadline shed from the queue or cancelled in flight."""
+        return [job for job in self.jobs if job.shed_at is not None]
 
     def latencies(self):
         """Per-job latencies in completion order."""
@@ -141,12 +158,13 @@ class WorkloadResult:
     def to_dict(self, include_reports=False):
         """JSON-ready summary; stable key order for determinism checks."""
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "seed": self.seed,
             "makespan": self.makespan,
             "queries": len(self.jobs),
             "queries_per_second": self.queries_per_second(),
             "placements": self.placements(),
+            "shed_jobs": len(self.shed()),
             "device_budget_bytes": self.device_budget_bytes,
             "peak_reserved_bytes": self.peak_reserved_bytes,
             "resource_stats": self.resource_stats,
@@ -214,14 +232,29 @@ class WorkloadScheduler:
             return self.queries[name]
         return job_query(name)
 
-    def submit(self, name, at=0.0, client=None):
+    def submit(self, name, at=0.0, client=None, deadline=None):
         """Submit query ``name`` (JOB or ``queries=``-registered) at
-        simulated time ``at``."""
+        simulated time ``at``.
+
+        ``deadline`` is the job's simulated-time budget after arrival
+        (defaulting to the scheduler context's ``deadline``): a job
+        still queued when it expires is *shed* (placement
+        ``"deadline-shed"``, no report), an in-flight offload is
+        cooperatively cancelled with its reservation released.  Host
+        executions already booked on the CPU run to completion —
+        cancellation is cooperative, never preemptive.
+        """
+        if deadline is None:
+            deadline = self.ctx.deadline
         job = QueryJob(seq=len(self.jobs), name=name, sql=self._sql_for(name),
-                       arrival=at, client=client)
+                       arrival=at, client=client, deadline=deadline)
         self.jobs.append(job)
         self.kernel.loop.schedule_at(at, lambda: self._arrive(job),
                                      label=f"arrive {job.label}")
+        if deadline is not None:
+            self.kernel.loop.schedule_at(
+                job.deadline_at, lambda: self._deadline_check(job),
+                label=f"deadline {job.label}")
         return job
 
     def submit_open_loop(self, names, arrivals):
@@ -254,7 +287,7 @@ class WorkloadScheduler:
         """Drain the workload; returns a :class:`WorkloadResult`."""
         self.kernel.loop.run(max_events=max_events)
         unfinished = [job.label for job in self.jobs
-                      if job.completed_at is None]
+                      if job.completed_at is None and job.shed_at is None]
         if unfinished or self._queue:
             raise ReproError(
                 f"workload drained with unfinished queries: {unfinished}")
@@ -376,6 +409,18 @@ class WorkloadScheduler:
             prepared = cooperative.prepare_split(
                 job.plan, split_index, self.ctx, kernel=kernel,
                 trace_label=job.label)
+        except AdmissionTimeoutError as error:
+            # Admission gave up: the DRAM pressure window outlasts the
+            # retry policy's admission timeout, so waiting for a
+            # completion cannot help.  Degrade to the host and attribute
+            # the fallback to the query and device in the resilience
+            # block (error.query / error.device name them too).
+            job.error = str(error)
+            where = (f"admission-timeout@d{target}"
+                     if self.cluster is not None else "admission-timeout")
+            self._start_host(job, fallback_from=where,
+                             faults_injected={"dram_admission_timeout": 1})
+            return True
         except DeviceOverloadError:
             if self._device_inflight > 0:
                 # Buffers are held by running queries; a completion
@@ -387,6 +432,8 @@ class WorkloadScheduler:
         job.placement = (f"H{split_index}" if self.cluster is None
                          else f"H{split_index}@d{target}")
         job.admitted_at = now
+        job._prepared = prepared
+        job._target = target
         self._inflight += 1
         self._device_inflight += 1
         self._device_inflight_by[target] += 1
@@ -451,6 +498,7 @@ class WorkloadScheduler:
     def _offload_done(self, job, prepared, device_index=0):
         now = self.kernel.now
         job.report = prepared.finish(total_time=now - job.arrival)
+        job._prepared = None
         self._device_inflight -= 1
         self._device_inflight_by[device_index] -= 1
         self._finish(job, now)
@@ -465,14 +513,70 @@ class WorkloadScheduler:
         """
         now = self.kernel.now
         prepared.release()
+        job._prepared = None
         self._device_inflight -= 1
         self._device_inflight_by[device_index] -= 1
         self._inflight -= 1      # _start_host re-increments
         job.error = str(error)
-        wasted = max(0.0, now - job.arrival)
-        self._start_host(job, fallback_from=error.strategy,
+        # The attempt's own elapsed cost, not now - arrival: queue wait
+        # is not wasted device time, and successive fallbacks must each
+        # account only their own attempt.
+        wasted = max(0.0, now - (job.admitted_at
+                                 if job.admitted_at is not None
+                                 else job.arrival))
+        fallback_from = (error.strategy if self.cluster is None
+                         else f"{error.strategy}@d{device_index}")
+        self._start_host(job, fallback_from=fallback_from,
                          wasted_time=wasted, retries=error.retries,
                          faults_injected=error.faults_injected)
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Deadlines
+    # ------------------------------------------------------------------
+    def _deadline_check(self, job):
+        """The job's deadline fired: shed or cancel whatever is left.
+
+        A job still queued is shed outright; an in-flight offload is
+        cooperatively cancelled (its DRAM reservation released, its
+        booked busy intervals standing as honest wasted cost).  A host
+        execution already booked on the CPU runs to completion, and a
+        finished job is left alone.
+        """
+        if job.completed_at is not None or job.shed_at is not None:
+            return
+        now = self.kernel.now
+        if job in self._queue:
+            self._queue.remove(job)
+            job.shed_at = now
+            job.placement = "deadline-shed"
+            job.error = (f"{job.label}: deadline {job.deadline}s expired "
+                         f"before admission; job shed")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    SCHED_TRACK, f"shed {job.label}", now,
+                    args={"query": job.name, "deadline": job.deadline})
+            self._drain()
+            return
+        prepared = getattr(job, "_prepared", None)
+        if prepared is None:
+            return               # host execution: runs to completion
+        if not prepared.cancel(now, reason="deadline"):
+            return               # completed at this very timestamp
+        target = job._target
+        job._prepared = None
+        self._device_inflight -= 1
+        self._device_inflight_by[target] -= 1
+        self._inflight -= 1
+        job.shed_at = now
+        job.error = (f"{job.label}: deadline {job.deadline}s expired "
+                     f"in flight on device {target}; offload cancelled "
+                     f"after {now - job.admitted_at:.6f}s")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                SCHED_TRACK, f"deadline-cancel {job.label}", now,
+                args={"query": job.name, "device": target,
+                      "placement": job.placement})
         self._drain()
 
     def _finish(self, job, now):

@@ -35,6 +35,7 @@ class BusyResource:
         self._busy_time = 0.0
         self._wait_time = 0.0
         self._requests = 0
+        self._last_begin = 0.0
 
     @property
     def free_at(self):
@@ -67,6 +68,7 @@ class BusyResource:
         self._busy_time += duration
         self._free_at = end
         self._requests += 1
+        self._last_begin = begin
         if self.tracer.enabled:
             if begin > start:
                 self.tracer.span(f"resource/{self.name}/queue",
@@ -79,6 +81,30 @@ class BusyResource:
                              args={"resource": self.name,
                                    "request": self._requests})
         return begin, end
+
+    def truncate(self, now):
+        """Give back the unserved tail of the last booking.
+
+        Cooperative cancellation interrupts whatever request is in
+        flight at ``now``: if ``now`` falls *inside* the most recent
+        booking, the resource frees at ``now`` and the reclaimed tail is
+        removed from busy time (the part already served stays, the
+        honest wasted cost).  Any other shape — the booking already
+        ended, or a later caller booked behind it — is left untouched,
+        so a shared resource can never lose another request's interval.
+        Returns the reclaimed seconds (0.0 when nothing was cut).
+        """
+        if now >= self._free_at or now < self._last_begin:
+            return 0.0
+        reclaimed = self._free_at - now
+        self._busy_time -= reclaimed
+        self._free_at = now
+        if self.tracer.enabled:
+            self.tracer.instant(f"resource/{self.name}",
+                                "cancelled: booking truncated", now,
+                                args={"resource": self.name,
+                                      "reclaimed": reclaimed})
+        return reclaimed
 
     def utilization(self, horizon):
         """Fraction of ``[0, horizon]`` the resource was busy.
@@ -112,6 +138,7 @@ class BusyResource:
         self._busy_time = 0.0
         self._wait_time = 0.0
         self._requests = 0
+        self._last_begin = 0.0
 
     def __repr__(self):
         return (

@@ -77,13 +77,21 @@ class Topology:
 
     @classmethod
     def cluster(cls, n_devices, partitioner=None, device_spec=None,
-                host_spec=None, flash=None, link=None):
+                host_spec=None, flash=None, link=None, device_specs=None,
+                links=None):
         """A scale-out layout: ``n_devices`` smart SSDs on one host.
 
         All devices mirror one flash store and get their *own* PCIe link
         and NDP core (and DRAM budget); ``partitioner`` is a
         :class:`PartitionSpec` (or ``"hash"``/``"range"`` shorthand)
         naming how scan responsibility is split across them.
+
+        Clusters may be *heterogeneous*: ``device_specs`` / ``links`` are
+        per-slot override sequences (length ``n_devices``; ``None``
+        entries fall back to ``device_spec`` / ``link``), so a layout can
+        mix PCIe generations, core speeds and DRAM budgets — the
+        straggler-mitigation scenarios in docs/robustness.md are built on
+        this.
         """
         if n_devices < 1:
             raise ReproError("a cluster needs at least one device")
@@ -91,12 +99,24 @@ class Topology:
             partitioner = PartitionSpec()
         elif isinstance(partitioner, str):
             partitioner = PartitionSpec(kind=partitioner)
+        for name, overrides in (("device_specs", device_specs),
+                                ("links", links)):
+            if overrides is not None and len(overrides) != n_devices:
+                raise ReproError(
+                    f"{name} has {len(overrides)} entries for "
+                    f"{n_devices} devices")
         flash = flash if flash is not None else FlashDevice()
         link = link or DEFAULT_LINK or PCIeLink()
+        base_spec = device_spec or COSMOS_PLUS
         devices = tuple(
-            SmartStorageDevice(spec=device_spec or COSMOS_PLUS,
-                               flash=flash, link=link, ndp_mode=True)
-            for _ in range(n_devices))
+            SmartStorageDevice(
+                spec=(device_specs[i] if device_specs is not None
+                      and device_specs[i] is not None else base_spec),
+                flash=flash,
+                link=(links[i] if links is not None
+                      and links[i] is not None else link),
+                ndp_mode=True)
+            for i in range(n_devices))
         return cls(host=host_spec or HOST_I5, devices=devices,
                    partitioning=partitioner, flash=flash)
 

@@ -13,8 +13,10 @@ import json
 
 import pytest
 
-from repro.bench.chaos import (SCENARIOS, chaos_matrix, default_split,
-                               run_chaos, scenario_plan)
+from repro.bench.chaos import (ROBUSTNESS_SCENARIOS, SCENARIOS,
+                               STRAGGLER_LIMIT, chaos_matrix,
+                               default_split, generated_queries, run_chaos,
+                               scenario_plan)
 from repro.errors import ReproError
 
 SMOKE_QUERIES = ["1a", "8c"]
@@ -100,3 +102,70 @@ def test_chaos_representative(job_env, query_name):
         assert summary["ok"], (
             f"{query_name}/{scenario}: rows_match={summary['rows_match']} "
             f"bounded={summary['bounded']}")
+
+
+class TestRobustnessScenarios:
+    """Cluster-level chaos: stragglers, cascading failures, deadlines."""
+
+    def test_catalogue_names(self):
+        assert set(ROBUSTNESS_SCENARIOS) == {
+            "straggler_device", "double_device_failure",
+            "deadline_shedding"}
+        assert not set(ROBUSTNESS_SCENARIOS) & set(SCENARIOS)
+
+    def test_straggler_speculation_rescues_makespan(self, job_env):
+        summary = run_chaos(job_env, "1a", "straggler_device", seed=0)
+        assert summary["ok"], summary
+        assert summary["rows_match"]
+        assert summary["speculation"]["clones"] >= 1
+        assert summary["faulted_time"] \
+            <= STRAGGLER_LIMIT * summary["reference_time"]
+
+    def test_double_failure_degrades_to_host(self, job_env):
+        summary = run_chaos(job_env, "1a", "double_device_failure",
+                            seed=0)
+        assert summary["ok"], summary
+        assert summary["failed_devices"] == [0, 1]
+        assert set(summary["placements"]) <= {"host-fallback", "empty"}
+
+    def test_deadline_shedding_keeps_exact_accounting(self, job_env):
+        summary = run_chaos(job_env, "1a", "deadline_shedding", seed=0)
+        assert summary["ok"], summary
+        assert summary["completed_jobs"] >= 1
+        assert summary["shed_jobs"] >= 1
+        assert summary["completed_jobs"] + summary["shed_jobs"] == 6
+        assert summary["leaked_reserved_bytes"] == 0
+
+    def test_robustness_summaries_are_byte_identical(self, job_env):
+        def run_once():
+            return json.dumps(
+                run_chaos(job_env, "1a", "double_device_failure", seed=0),
+                sort_keys=True)
+
+        assert run_once() == run_once()
+
+
+class TestGeneratedWorkloads:
+    def test_generated_queries_deterministic(self):
+        first = generated_queries(3, seed=11)
+        again = generated_queries(3, seed=11)
+        other = generated_queries(3, seed=12)
+        assert list(first) == ["gen0", "gen1", "gen2"]
+        assert first == again
+        assert first != other
+        assert all(sql.lstrip().upper().startswith("SELECT")
+                   for sql in first.values())
+
+    def test_generated_query_runs_through_chaos(self, job_env):
+        queries = generated_queries(2, seed=0)
+        summary = run_chaos(job_env, "gen0", "transient-commands",
+                            seed=0, queries=queries)
+        assert summary["query"] == "gen0"
+        assert summary["ok"], summary
+
+    def test_matrix_accepts_generated_mapping(self, job_env):
+        queries = generated_queries(1, seed=0)
+        matrix = chaos_matrix(job_env, ["gen0"],
+                              scenarios=["transient-commands"],
+                              queries=queries)
+        assert matrix["gen0"]["transient-commands"]["ok"]

@@ -11,13 +11,18 @@ scheduler's cluster placement mode.
 """
 
 import json
+from dataclasses import replace
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.cluster import ClusterFaultPlan, DeviceCluster
+from repro.cluster import ClusterFaultPlan, DeviceCluster, SpeculationPolicy
 from repro.context import ExecutionContext
 from repro.engine.stacks import Stack
-from repro.faults import CommandFaultModel, FaultPlan
+from repro.errors import DeadlineExceededError
+from repro.faults import (CommandFaultModel, FaultPlan, FaultWindow,
+                          RetryPolicy, SlowDeviceModel)
 from repro.sched import ClosedLoopArrivals, WorkloadScheduler
 from repro.sim import device_resource_names
 from repro.storage.topology import PartitionSpec, Topology
@@ -229,3 +234,202 @@ class TestTopologyWiring:
         topology = Topology.cluster(2, flash=job_env.device.flash)
         with pytest.raises(ReproError, match="disagrees"):
             DeviceCluster(job_env, n_devices=4, topology=topology)
+
+
+def _straggler_faults(seed=3, slowdown=50.0, device=0):
+    """A persistent 50x slowdown on one device, seeded."""
+    return ClusterFaultPlan(plans={device: FaultPlan(
+        seed=seed, slow=SlowDeviceModel(
+            windows=(FaultWindow(0.0, 3600.0),), slowdown=slowdown))})
+
+
+class TestSpeculation:
+    """Straggler cloning: row-identical, audited, bounded makespan."""
+
+    def test_policy_validation(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="factor"):
+            SpeculationPolicy(factor=0.5)
+        with pytest.raises(ReproError, match="quorum"):
+            SpeculationPolicy(quorum=0.0)
+        with pytest.raises(ReproError, match="quorum"):
+            SpeculationPolicy(quorum=1.5)
+        assert SpeculationPolicy().describe() == {"factor": 1.5,
+                                                  "quorum": 0.5}
+
+    def test_disabled_by_default_with_null_audit(self, job_env):
+        cluster = DeviceCluster(job_env, n_devices=4,
+                                partitioner=PartitionSpec("range", seed=0))
+        report = cluster.run(query("1a"), split_index=0,
+                             ctx=ExecutionContext(
+                                 faults=_straggler_faults()))
+        block = report.cluster["speculation"]
+        assert block == {"policy": None, "clones": 0, "events": [],
+                         "wasted_time": 0.0}
+
+    def test_straggler_cloned_rows_identical_and_bounded(self, job_env):
+        plan, baseline = serial_rows(job_env, "1a")
+        layout = dict(n_devices=4,
+                      partitioner=PartitionSpec("range", seed=0),
+                      speculation=SpeculationPolicy(factor=1.5))
+        reference = DeviceCluster(job_env, **layout).run(
+            plan, split_index=0)
+        faulted = DeviceCluster(job_env, **layout).run(
+            plan, split_index=0,
+            ctx=ExecutionContext(faults=_straggler_faults()))
+
+        assert faulted.result.sorted_rows() == baseline
+        block = faulted.cluster["speculation"]
+        assert block["policy"] == {"factor": 1.5, "quorum": 0.5}
+        assert block["clones"] >= 1
+        clones = [event for event in block["events"]
+                  if "straggler_device" in event]
+        assert clones, "clone must be audited"
+        for event in clones:
+            assert {"partition", "clone", "at", "median",
+                    "elapsed"} <= set(event)
+        # Speculation waste is audited separately from fault waste.
+        assert block["wasted_time"] >= 0.0
+        # The clone rescues the makespan: the straggler's 50x partition
+        # would otherwise dominate, speculation keeps it within the
+        # chaos harness's degradation bound.
+        assert faulted.total_time <= 1.5 * reference.total_time
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    def test_speculative_rows_identical_to_serial_any_seed(
+            self, job_env, seed):
+        plan, baseline = serial_rows(job_env, "1a")
+        cluster = DeviceCluster(job_env, n_devices=4,
+                                partitioner=PartitionSpec("range", seed=0),
+                                speculation=SpeculationPolicy(factor=1.5))
+        report = cluster.run(
+            plan, split_index=0,
+            ctx=ExecutionContext(faults=_straggler_faults(seed=seed)))
+        assert report.result.sorted_rows() == baseline
+        # And no DRAM reservation is live after cancelled losers.
+        assert all(device.reserved_bytes == 0
+                   for device in cluster.devices)
+
+    def test_speculative_run_is_deterministic(self, job_env):
+        def run_once():
+            cluster = DeviceCluster(
+                job_env, n_devices=4,
+                partitioner=PartitionSpec("range", seed=0),
+                speculation=SpeculationPolicy(factor=1.5))
+            report = cluster.run(
+                query("1a"), split_index=0,
+                ctx=ExecutionContext(faults=_straggler_faults()))
+            return json.dumps(report.to_dict(include_timeline=True),
+                              sort_keys=True)
+
+        assert run_once() == run_once()
+
+
+class TestMultiFaultDegradation:
+    """Any number of failures cascades through survivors to the host."""
+
+    def test_two_of_three_devices_fail(self, job_env):
+        plan, baseline = serial_rows(job_env, "1a")
+        storm = CommandFaultModel(fail_first=500)
+        faults = ClusterFaultPlan(plans={
+            0: FaultPlan(seed=1, commands=storm),
+            1: FaultPlan(seed=2, commands=storm)})
+        cluster = DeviceCluster(job_env, n_devices=3,
+                                partitioner=PartitionSpec("range", seed=0))
+        report = cluster.run(plan, ctx=ExecutionContext(faults=faults))
+
+        assert report.result.sorted_rows() == baseline
+        assert report.cluster["failed_devices"] == [0, 1]
+        for part in report.cluster["partitions"]:
+            assert "@d0" not in part["placement"], part
+            assert "@d1" not in part["placement"], part
+        assert len(report.cluster["failures"]) >= 2
+
+    def test_wasted_time_budget_short_circuits_to_host(self, job_env):
+        plan, baseline = serial_rows(job_env, "1a")
+        storm = FaultPlan(seed=1, commands=CommandFaultModel(
+            fail_first=500))
+        ctx = ExecutionContext(
+            faults=ClusterFaultPlan(default=storm),
+            retry_policy=RetryPolicy(wasted_time_budget=1e-9))
+        cluster = DeviceCluster(job_env, n_devices=2,
+                                partitioner=PartitionSpec("range", seed=0))
+        report = cluster.run(plan, ctx=ctx)
+        assert report.result.sorted_rows() == baseline
+        placements = {part["placement"]
+                      for part in report.cluster["partitions"]}
+        assert placements <= {"host-fallback", "empty"}
+        # The cap stopped the cascade: no survivor re-execution was
+        # attempted after the first device's waste blew the budget.
+        attempted = set()
+        for part in report.cluster["partitions"]:
+            attempted.update(part["attempted_devices"])
+        assert attempted <= {0, 1}
+
+
+class TestClusterDeadline:
+    def test_deadline_cancels_and_raises_with_partial_audit(self, job_env):
+        plan, _ = serial_rows(job_env, "1a")
+        cluster = DeviceCluster(job_env, n_devices=2,
+                                partitioner=PartitionSpec("range", seed=0))
+        fault_free = cluster.run(plan)
+        deadline = 0.25 * fault_free.total_time
+
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            cluster.run(plan, ctx=ExecutionContext(deadline=deadline))
+        error = excinfo.value
+        assert error.deadline == deadline
+        assert isinstance(error.partial["completed_partitions"], list)
+        assert error.partial["cancelled"], "in-flight attempts recorded"
+        # Cooperative cancellation released every pipeline reservation.
+        assert all(device.reserved_bytes == 0
+                   for device in cluster.devices)
+
+    def test_generous_deadline_is_byte_identical_to_none(self, job_env):
+        def run_once(ctx):
+            cluster = DeviceCluster(
+                job_env, n_devices=2,
+                partitioner=PartitionSpec("range", seed=0))
+            report = cluster.run(query("3b"), ctx=ctx)
+            return json.dumps(report.to_dict(include_timeline=True),
+                              sort_keys=True)
+
+        assert run_once(None) == run_once(ExecutionContext(deadline=60.0))
+
+
+class TestHeterogeneousCluster:
+    def test_mixed_specs_still_row_identical(self, job_env):
+        base = job_env.device.spec
+        slow = replace(base, name=f"{base.name}-slow",
+                       coremark=base.coremark / 4)
+        topology = Topology.cluster(
+            3, partitioner=PartitionSpec("range", seed=0),
+            device_spec=base, flash=job_env.device.flash,
+            link=job_env.device.link,
+            device_specs=[None, slow, None])
+        cluster = DeviceCluster(job_env, topology=topology)
+        plan, baseline = serial_rows(job_env, "1a")
+        report = cluster.run(plan)
+        assert report.result.sorted_rows() == baseline
+        assert cluster.devices[1].spec.name.endswith("-slow")
+        # The slow device gets its own timing model; the others share
+        # the environment's.
+        timings = [executor.timing for executor in cluster.executors]
+        assert timings[0] is job_env.runner.timing
+        assert timings[2] is job_env.runner.timing
+        assert timings[1] is not job_env.runner.timing
+
+    def test_spec_list_length_mismatch_rejected(self, job_env):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="device_specs"):
+            Topology.cluster(2, flash=job_env.device.flash,
+                             device_specs=[None])
+
+    def test_homogeneous_specs_share_timing_model(self, job_env):
+        cluster = DeviceCluster(job_env, n_devices=2,
+                                partitioner=PartitionSpec("range", seed=0))
+        assert all(executor.timing is job_env.runner.timing
+                   for executor in cluster.executors)

@@ -120,3 +120,40 @@ class TestRunPaths:
     def test_plan_cache_returns_same_object(self, job_env):
         sql = query(QUERY)
         assert job_env.runner.plan(sql) is job_env.runner.plan(sql)
+
+
+class TestDeadline:
+    """``ctx.deadline`` on the single-device hybrid path."""
+
+    def test_run_split_raises_with_partial_audit(self, job_env):
+        from repro.errors import DeadlineExceededError
+
+        plan = job_env.runner.plan(query(QUERY))
+        split = plan.table_count - 1
+        reference = job_env.run(plan, Stack.HYBRID, split_index=split)
+        deadline = 0.4 * reference.total_time
+        reserved_before = job_env.device.reserved_bytes
+
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            job_env.run(plan, Stack.HYBRID, split_index=split,
+                        ctx=ExecutionContext(deadline=deadline))
+        error = excinfo.value
+        assert error.deadline == deadline
+        assert error.partial["strategy"] == f"H{split}"
+        assert 0 <= error.partial["batches_consumed"] \
+            <= error.partial["batches_total"]
+        # Cancellation released the pipeline reservation.
+        assert job_env.device.reserved_bytes == reserved_before
+
+    def test_generous_deadline_is_identical_to_none(self, job_env):
+        plan = job_env.runner.plan(query(QUERY))
+        bounded = job_env.run(plan, Stack.HYBRID, split_index=1,
+                              ctx=ExecutionContext(deadline=3600.0))
+        unbounded = job_env.run(plan, Stack.HYBRID, split_index=1)
+        assert bounded.total_time == unbounded.total_time
+        assert (bounded.result.sorted_rows()
+                == unbounded.result.sorted_rows())
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ReproError):
+            ExecutionContext(deadline=-1.0)

@@ -30,6 +30,7 @@ from repro.sim import Tracer
 from repro.workloads.job_queries import query
 
 GOLDEN = Path(__file__).parent / "golden" / "trace_1a_h0.json"
+GOLDEN_REPORT_V3 = Path(__file__).parent / "golden" / "report_1a_h0_v3.json"
 
 
 def export_trace(job_env):
@@ -41,6 +42,35 @@ def export_trace(job_env):
 
 def test_trace_reproduces_golden_bytes(job_env):
     assert export_trace(job_env) == GOLDEN.read_text()
+
+
+def test_v4_report_is_byte_identical_to_v3_for_null_config(job_env):
+    """Schema v4 with NULL deadline/speculation config reproduces v3.
+
+    The fixture is the pre-v4 ``to_dict`` payload of the same golden
+    run, captured *before* the robustness PR.  The only v4 delta for a
+    single-device run must be ``schema_version`` itself: no deadline,
+    no speculation and no heterogeneous specs means byte-for-byte the
+    same report.  Regenerate only with an explained schema bump:
+
+        PYTHONPATH=src python -c "
+        import json
+        from repro.engine.stacks import Stack
+        from repro.workloads.job_queries import query
+        from repro.workloads.loader import build_environment
+        env = build_environment(scale=0.0004, seed=7)
+        report = env.run(query('1a'), Stack.HYBRID, split_index=0)
+        with open('tests/golden/report_1a_h0_v3.json', 'w') as fh:
+            json.dump(report.to_dict(include_timeline=True), fh,
+                      indent=1, sort_keys=True)
+            fh.write('\\n')"
+    """
+    report = job_env.run(query("1a"), Stack.HYBRID, split_index=0)
+    payload = report.to_dict(include_timeline=True)
+    assert payload["schema_version"] == 4
+    payload["schema_version"] = 3
+    fresh = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    assert fresh == GOLDEN_REPORT_V3.read_text()
 
 
 def test_golden_fixture_is_valid_chrome_trace():

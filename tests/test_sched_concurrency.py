@@ -291,3 +291,85 @@ class TestBenchmark:
         assert summary["device"]["peak_reserved_bytes"] \
             <= summary["device"]["budget_bytes"]
         assert "jobs" not in summary
+
+
+class TestDeadlines:
+    """Per-job deadlines: queued jobs shed, in-flight offloads cancelled.
+
+    Calibrated against the job's own fault-free makespan so the tests
+    hold at any dataset scale.  Deadline handling must keep exact
+    reservation accounting — no device DRAM stays reserved and no
+    BusyResource stays booked for a cancelled offload.
+    """
+
+    def _solo_makespan(self, env, name):
+        sched = WorkloadScheduler(env)
+        sched.submit(name, at=0.0)
+        return sched.run().makespan
+
+    def test_queued_job_shed_at_deadline(self, job_env):
+        makespan = self._solo_makespan(job_env, "1a")
+        sched = WorkloadScheduler(job_env, max_inflight=1)
+        sched.submit("1a", at=0.0)
+        sched.submit("1a", at=0.0)
+        # Third job can never be admitted before its deadline expires.
+        sched.submit("1a", at=0.0, deadline=0.5 * makespan)
+        result = sched.run()
+
+        assert len(result.completed()) == 2
+        (shed,) = result.shed()
+        assert shed.placement == "deadline-shed"
+        assert shed.report is None
+        assert shed.shed_at == pytest.approx(0.5 * makespan)
+        assert "shed" in shed.error
+        assert job_env.device.reserved_bytes == 0
+        payload = result.to_dict()
+        assert payload["schema_version"] == 2
+        assert payload["shed_jobs"] == 1
+
+    def test_inflight_offload_cancelled_at_deadline(self, job_env):
+        makespan = self._solo_makespan(job_env, "8c")
+        # Fault-free premise: 8c offloads (placement Hk, not host-only).
+        sched = WorkloadScheduler(job_env)
+        sched.submit("8c", at=0.0)
+        baseline = sched.run().jobs[0]
+        assert baseline.placement.startswith("H"), baseline.placement
+
+        sched = WorkloadScheduler(job_env)
+        sched.submit("8c", at=0.0, deadline=0.5 * makespan)
+        result = sched.run()
+
+        (job,) = result.jobs
+        assert job.shed_at is not None
+        assert job.report is None
+        assert "offload cancelled" in job.error
+        assert result.to_dict()["shed_jobs"] == 1
+        # Exact accounting: the cancelled offload released its pipeline
+        # reservation and gave back the unserved resource tail.
+        assert job_env.device.reserved_bytes == 0
+        for resource in sched.kernel.resources():
+            assert resource.free_at <= job.shed_at + 1e-9, resource
+
+    def test_context_deadline_is_the_default(self, job_env):
+        makespan = self._solo_makespan(job_env, "1a")
+        ctx = ExecutionContext(deadline=0.25 * makespan)
+        sched = WorkloadScheduler(job_env, ctx=ctx, max_inflight=1)
+        sched.submit("1a", at=0.0)
+        sched.submit("1a", at=0.0)
+        result = sched.run()
+        assert result.jobs[0].deadline == 0.25 * makespan
+        assert len(result.shed()) >= 1
+
+    def test_generous_deadline_changes_nothing(self, job_env):
+        def run_once(deadline):
+            sched = WorkloadScheduler(job_env)
+            for name in FAST:
+                sched.submit(name, at=0.0, deadline=deadline)
+            return json.dumps(sched.run().to_dict(), sort_keys=True)
+
+        relaxed = json.loads(run_once(3600.0))
+        unbounded = json.loads(run_once(None))
+        for job, ref in zip(relaxed["jobs"], unbounded["jobs"]):
+            assert job["deadline"] == 3600.0
+            job["deadline"] = None
+            assert job == ref
