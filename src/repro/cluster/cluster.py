@@ -51,6 +51,7 @@ deadlines"):
 
 from dataclasses import dataclass, field, replace
 
+from repro.columns import ColumnBatch
 from repro.context import ExecutionContext
 from repro.core import DeviceLoad, ExecutionStrategy
 from repro.cluster.partition import Partitioner
@@ -347,7 +348,7 @@ class ScatterGatherExecutor:
         for part in partitions:
             if part.shard is not None and part.shard.is_empty:
                 part.placement = "empty"
-                part.rows = []
+                part.rows = ColumnBatch.empty()
                 part.completed_at = 0.0
                 part.done = True
                 continue
@@ -458,7 +459,7 @@ class ScatterGatherExecutor:
         prepared = attempt.prepared
         part.device = attempt.device_index
         part.placement = f"H{part.split_index}@d{attempt.device_index}"
-        part.rows = list(sim.joined_rows)
+        part.rows = ColumnBatch.concat(sim.joined_rows)
         part.completed_at = now
         part.host_counters = prepared.host_counters
         part.device_counters = prepared.execution.counters
@@ -787,9 +788,8 @@ class ScatterGatherExecutor:
         cluster = self.cluster
         kernel = state.kernel
         partitions = state.partitions
-        merged_rows = []
-        for part in partitions:          # partition order => deterministic
-            merged_rows.extend(part.rows)
+        # Partition order => deterministic gather-merge of the batches.
+        merged_rows = ColumnBatch.concat([part.rows for part in partitions])
         merge_counters = WorkCounters()
         result = cluster.host.finalize_fragment(state.plan, merged_rows,
                                                 merge_counters)

@@ -22,8 +22,11 @@ Both layouts are pure functions of ``(kind, seed, n, table, key)`` plus
 so the same seeds reproduce the same partitioning byte for byte.
 """
 
+import numpy as np
+
 from repro.engine.pipeline import stable_hash
 from repro.errors import ReproError
+from repro.relational.scan import ScanRequest
 
 
 class TableShard:
@@ -61,6 +64,34 @@ class TableShard:
         if self.pk_hi is not None and pk_value > self.pk_hi:
             return False
         return True
+
+    def contains_array(self, pk_values):
+        """Vectorized :meth:`contains` over a primary-key array.
+
+        Hash membership folds the constant ``(table, seed)`` hash prefix
+        once and applies the final FNV-style round to the whole int64
+        key column — bit-identical to ``stable_hash`` per key, since the
+        31-bit masked fold never overflows int64.
+        """
+        values = np.asarray(pk_values)
+        n = len(values)
+        if self.is_empty:
+            return np.zeros(n, dtype=bool)
+        if self._hashed:
+            if n and values.dtype.kind != "i":
+                return np.fromiter(
+                    (self.contains(value) for value in values.tolist()),
+                    dtype=bool, count=n)
+            prefix = stable_hash((self.table, self._seed))
+            hashes = ((prefix * 1000003) ^ values.astype(np.int64)) \
+                & 0x7FFFFFFF
+            return (hashes % self.n_partitions) == self.index
+        mask = np.ones(n, dtype=bool)
+        if self.pk_lo is not None:
+            mask &= values >= self.pk_lo
+        if self.pk_hi is not None:
+            mask &= values <= self.pk_hi
+        return mask
 
     def clamp(self, lo, hi):
         """Intersect plan-derived PK bounds with this shard's bounds."""
@@ -115,7 +146,8 @@ class Partitioner:
         bounds = {}
         for table in catalog.tables():
             pk = table.schema.primary_key
-            keys = sorted(row[pk] for row in table.scan(columns=[pk]))
+            keys = sorted(row[pk] for row in
+                          table.scan(ScanRequest(columns=(pk,))))
             cuts = []
             for index in range(n_partitions):
                 lo_i = len(keys) * index // n_partitions

@@ -6,8 +6,17 @@ its physical work (flash bytes, record evaluations, memcmp bytes, seeks).
 The :class:`TimingModel` prices those counters for host or device
 placement, and the cooperative executor replays block-wise production and
 consumption on a simulated timeline (paper §4, Figs. 7/8/17).
+
+Operators exchange :class:`ColumnBatch` values — schema-tagged numpy
+column arrays — rather than lists of dicts; ``ColumnBatch.rows()`` is
+the compatibility view for row-oriented consumers.  Work counters are
+derived from batch arithmetic, so traces are byte-identical to the
+retained row-at-a-time reference executor
+(:class:`repro.engine.rowref.RowPipelineExecutor`).  See
+``docs/engine.md`` for the exchange protocol.
 """
 
+from repro.columns import ColumnBatch
 from repro.engine.counters import WorkCounters
 from repro.engine.timing import ExecutionLocation, TimingModel
 from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
@@ -17,6 +26,7 @@ from repro.engine.cooperative import CooperativeExecutor
 from repro.engine.stacks import Stack, StackRunner
 
 __all__ = [
+    "ColumnBatch",
     "WorkCounters",
     "ExecutionLocation",
     "TimingModel",

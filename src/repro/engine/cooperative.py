@@ -703,7 +703,8 @@ class CooperativeExecutor:
                 batch, row_bytes)
         else:
             fragment_rows = batch
-        joined_rows.extend(fragment_rows)
+        # Each fragment is one ColumnBatch; finalize concatenates them.
+        joined_rows.append(fragment_rows)
         delta = host_counters.copy()
         for name, value in before.as_dict().items():
             setattr(delta, name, getattr(delta, name) - value)
@@ -898,7 +899,7 @@ class CooperativeExecutor:
             setup_time = self.timing.command_setup_time(command.payload_bytes)
             result = execution.result
             if result is None:
-                result = QueryResult(execution.rows, [])
+                result = QueryResult(execution.rows.rows(), [])
             if execution.result is not None:
                 # Aggregated on device: a handful of scalar rows.
                 result_bytes = max(64, len(result.rows) * 64)

@@ -1,21 +1,34 @@
-"""Functional volcano-style pipeline shared by the host and NDP engines.
+"""Vectorized volcano-style pipeline shared by the host and NDP engines.
 
 Both engines execute the *same* operator semantics over the stored data
 (the paper's device runs a volcano model too, §4.2); they differ in
 buffer sizes, intermediate cache format (row cache vs pointer cache) and
 — via the timing model — the price of each unit of work.
 
-Every stage really evaluates predicates, probes indexes and joins rows,
-incrementing :class:`WorkCounters` with the physical work performed.
+Operators exchange :class:`~repro.columns.ColumnBatch`es (docs/engine.md):
+each stage decodes records straight into numpy column arrays, evaluates
+predicates as boolean masks, and joins by gathering row indices.  Every
+:class:`WorkCounters` increment is derived from batch arithmetic —
+lengths, mask popcounts, byte widths — and is numerically identical to
+the retained row-at-a-time reference (:mod:`repro.engine.rowref`), so
+golden traces, differential tests and chaos/cluster audits stay
+byte-identical.  LSM access *order* is likewise preserved: batching only
+defers decode and predicate work, never reorders or skips storage reads,
+so stateful block-cache hit counts match exactly.
 """
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.columns import ColumnBatch
 from repro.errors import ExecutionError
 from repro.lsm.store import ReadStats
 from repro.query.ast import (Between, ColumnRef, Comparison, InList, IsNull,
                              Like, Literal, Not, And, Or, conjuncts)
 from repro.query.physical import AccessPath, JoinAlgorithm
+from repro.query.vectorized import eval_mask
+from repro.relational.scan import ScanRequest
 
 _POINTER_BYTES = 8
 
@@ -98,8 +111,44 @@ def predicate_cost(expr, catalog, tables):
     return ops, memcmp
 
 
+def _merged_column(outer, inner, name):
+    """Column arrays under merged-batch precedence (inner overrides)."""
+    if inner.has_column(name):
+        return inner.column(name)
+    if outer.has_column(name):
+        return outer.column(name)
+    return None
+
+
+def _edge_mask(edges, outer, inner):
+    """Vectorized join-edge equality over aligned outer/inner batches.
+
+    A missing column or a NULL on either side fails the edge — the
+    semantics of the row engine's ``merged.get(...) is None`` check.
+    """
+    n = len(outer)
+    mask = np.ones(n, dtype=bool)
+    for edge in edges:
+        left = _merged_column(outer, inner,
+                              f"{edge.left_alias}.{edge.left_column}")
+        right = _merged_column(outer, inner,
+                               f"{edge.right_alias}.{edge.right_column}")
+        if left is None or right is None:
+            mask[:] = False
+            continue
+        eq = np.asarray(left[0] == right[0])
+        if eq.shape != (n,):
+            eq = np.broadcast_to(eq, (n,)).copy()
+        if left[1] is not None:
+            eq = eq & ~left[1]
+        if right[1] is not None:
+            eq = eq & ~right[1]
+        mask &= eq
+    return mask
+
+
 class PipelineExecutor:
-    """Executes a sequence of :class:`TableAccess` stages."""
+    """Executes a sequence of :class:`TableAccess` stages over batches."""
 
     def __init__(self, catalog, config, counters):
         self.catalog = catalog
@@ -130,51 +179,56 @@ class PipelineExecutor:
 
         ``tables`` maps alias -> table name (from the QuerySpec).
         ``input_rows`` seeds the pipeline (host side of a split receives
-        the device's intermediate results); when None, the first entry is
-        the driving table.  ``input_aliases`` names the aliases already
-        joined into the seed rows so residual predicates bind correctly.
-        ``driving_shard`` (a :class:`repro.cluster.TableShard`-like
-        object) restricts the driving table to one partition: range
-        shards push primary-key bounds into the scan, hash shards filter
-        rows on shard membership before any predicate work is charged.
-        Inner probes stay unrestricted — the cluster's storage is
-        mirrored, so partition-local prefixes see every join partner.
+        the device's intermediate results) as a :class:`ColumnBatch` —
+        a legacy list of dict rows is converted; when None, the first
+        entry is the driving table.  ``input_aliases`` names the aliases
+        already joined into the seed rows so residual predicates bind
+        correctly.  ``driving_shard`` (a
+        :class:`repro.cluster.TableShard`-like object) restricts the
+        driving table to one partition: range shards push primary-key
+        bounds into the scan, hash shards filter rows on shard
+        membership before any predicate work is charged.  Inner probes
+        stay unrestricted — the cluster's storage is mirrored, so
+        partition-local prefixes see every join partner.
 
-        Returns ``(rows, row_bytes)`` where ``row_bytes`` is the
+        Returns ``(batch, row_bytes)`` where ``row_bytes`` is the
         materialized size of one output row (feeds transfer volumes and
         the next fragment's buffer math).
         """
         self._tables = tables
         pending_residual = list(residual_conjuncts)
         if input_rows is not None:
-            rows = list(input_rows)
+            if isinstance(input_rows, ColumnBatch):
+                batch = input_rows
+            else:
+                batch = ColumnBatch.from_rows(list(input_rows))
             row_bytes = input_row_bytes
             available = set(input_aliases)
             stages = entries
         else:
             if not entries:
                 raise ExecutionError("pipeline needs at least one stage")
-            rows, row_bytes = self._driving(entries[0], shard=driving_shard)
+            batch, row_bytes = self._driving(entries[0], shard=driving_shard)
             available = {entries[0].alias}
-            rows, pending_residual = self._apply_residual(
-                rows, pending_residual, available)
-            self.stage_trace.append((entries[0].alias, len(rows)))
+            batch, pending_residual = self._apply_residual(
+                batch, pending_residual, available)
+            self.stage_trace.append((entries[0].alias, len(batch)))
             stages = entries[1:]
 
         for entry in stages:
-            rows, row_bytes = self._join(rows, row_bytes, entry)
+            batch, row_bytes = self._join(batch, row_bytes, entry)
             available.add(entry.alias)
-            rows, pending_residual = self._apply_residual(
-                rows, pending_residual, available)
-            self.stage_trace.append((entry.alias, len(rows)))
-            if self.config.max_rows and len(rows) > self.config.max_rows:
+            batch, pending_residual = self._apply_residual(
+                batch, pending_residual, available)
+            self.stage_trace.append((entry.alias, len(batch)))
+            if self.config.max_rows and len(batch) > self.config.max_rows:
                 raise ExecutionError(
                     f"intermediate result exceeded {self.config.max_rows} rows")
         if pending_residual:
             # Residuals referencing aliases outside this fragment are the
             # caller's responsibility (host applies them after the merge).
             pass
-        return rows, row_bytes
+        return batch, row_bytes
 
     # ------------------------------------------------------------------
     # Per-entry decode planning
@@ -201,79 +255,62 @@ class PipelineExecutor:
         exact = set(projection) == set(needed)
         return needed, qualified_projection, exact
 
-    @staticmethod
-    def _project_qualified(row, qualified_projection, exact):
-        if exact:
-            return row
-        return {name: row[name] for name in qualified_projection}
-
     # ------------------------------------------------------------------
     # Driving table
     # ------------------------------------------------------------------
     def _driving(self, entry, shard=None):
         table = self.catalog.table(entry.table_name)
-        predicate = self._compiled_filter(entry)
         ops, memcmp = predicate_cost(entry.local_filter, self.catalog,
                                      self._tables)
         needed, q_projection, exact = self._decode_plan(entry)
-        pk_qualified = None
         if shard is not None:
             # Shard routing checks need the primary key decoded; keep the
             # projection itself untouched (``exact`` goes False so the
             # extra column is projected away again).
             pk = table.schema.primary_key
-            pk_qualified = f"{entry.alias}.{pk}"
             if pk not in needed:
                 needed = sorted(set(needed) | {pk})
                 exact = False
         stats = self._stats()
-        rows = []
-        if shard is not None and shard.is_empty:
-            source = ()
-        elif entry.access_path is AccessPath.SECONDARY_LOOKUP:
-            source = self._secondary_driving(table, entry, stats, needed)
-        elif entry.access_path is AccessPath.PK_RANGE:
-            lo, hi = self._pk_bounds(entry)
-            if shard is not None:
-                lo, hi = shard.clamp(lo, hi)
-            source = table.scan(stats=stats, pk_lo=lo, pk_hi=hi,
-                                columns=needed, qualified_as=entry.alias)
-        else:
-            if shard is not None and shard.pk_lo is not None:
-                # Range shards prune at the storage layer: the scan only
-                # touches the shard's key range (block-level pruning).
-                source = table.scan(stats=stats, pk_lo=shard.pk_lo,
-                                    pk_hi=shard.pk_hi, columns=needed,
-                                    qualified_as=entry.alias)
-            else:
-                source = table.scan(stats=stats, columns=needed,
-                                    qualified_as=entry.alias)
         row_bytes = self._materialized_bytes(entry)
         counters = self.counters
-        for row in source:
-            if (shard is not None
-                    and not shard.contains(row[pk_qualified])):
-                # Row belongs to another device's shard: routing is free
-                # (no predicate work charged for skipped rows).
-                continue
-            counters.records_evaluated += 1
-            counters.predicate_ops += ops
-            counters.memcmp_bytes += memcmp
-            if predicate is not None and not predicate(row):
-                continue
-            rows.append(self._project_qualified(row, q_projection, exact))
-            counters.bytes_materialized += row_bytes
+        if entry.access_path is AccessPath.SECONDARY_LOOKUP:
+            build = table.codec.batch_projector(needed, entry.alias)
+            if shard is not None and shard.is_empty:
+                batch = build([])
+            else:
+                raws = []
+                for value in self._index_constants(entry):
+                    counters.index_seeks += 1
+                    raws.extend(table.index_lookup_raw(
+                        entry.index_column, value, stats=stats))
+                batch = build(raws)
+                if shard is not None:
+                    pk_name = f"{entry.alias}.{table.schema.primary_key}"
+                    values, _mask = batch.column(pk_name)
+                    # Shard routing is free: rows of other shards are
+                    # dropped before any predicate work is charged.
+                    from repro.columns import shard_membership
+                    batch = batch.select(shard_membership(shard, values))
+        else:
+            lo = hi = None
+            if entry.access_path is AccessPath.PK_RANGE:
+                lo, hi = self._pk_bounds(entry)
+            batch = table.scan_batch(ScanRequest(
+                columns=tuple(needed), pk_lo=lo, pk_hi=hi, stats=stats,
+                qualified_as=entry.alias, shard=shard))
+        n = len(batch)
+        counters.records_evaluated += n
+        counters.predicate_ops += ops * n
+        counters.memcmp_bytes += memcmp * n
+        if entry.local_filter is not None and n:
+            batch = batch.select(eval_mask(entry.local_filter, batch))
+        counters.bytes_materialized += row_bytes * len(batch)
+        if not exact:
+            batch = batch.project(q_projection)
         counters.absorb_read_stats(stats)
         self._row_bytes[entry.alias] = row_bytes
-        return rows, row_bytes
-
-    def _secondary_driving(self, table, entry, stats, needed):
-        constants = self._index_constants(entry)
-        for value in constants:
-            self.counters.index_seeks += 1
-            yield from table.index_lookup(entry.index_column, value,
-                                          stats=stats, columns=needed,
-                                          qualified_as=entry.alias)
+        return batch, row_bytes
 
     def _index_constants(self, entry):
         """Constants bound to the driving entry's index column."""
@@ -316,20 +353,25 @@ class PipelineExecutor:
     # ------------------------------------------------------------------
     # Joins
     # ------------------------------------------------------------------
-    def _join(self, outer_rows, outer_row_bytes, entry):
+    def _join(self, outer, outer_row_bytes, entry):
         if entry.join_algorithm in (JoinAlgorithm.BNLJI, JoinAlgorithm.NLJ) \
                 and entry.index_column is not None:
-            return self._join_bnlji(outer_rows, outer_row_bytes, entry)
+            return self._join_bnlji(outer, outer_row_bytes, entry)
         if entry.join_algorithm is JoinAlgorithm.GHJ:
-            return self._join_ghj(outer_rows, outer_row_bytes, entry)
+            return self._join_ghj(outer, outer_row_bytes, entry)
         if entry.join_algorithm is JoinAlgorithm.NLJ:
-            return self._join_nlj(outer_rows, outer_row_bytes, entry)
-        return self._join_bnlj(outer_rows, outer_row_bytes, entry)
+            return self._join_nlj(outer, outer_row_bytes, entry)
+        return self._join_bnlj(outer, outer_row_bytes, entry)
 
-    def _join_bnlji(self, outer_rows, outer_row_bytes, entry):
+    def _inner_filter(self, entry, inner):
+        """Local-filter pass/fail mask over a decoded inner batch."""
+        if entry.local_filter is None:
+            return np.ones(len(inner), dtype=bool)
+        return eval_mask(entry.local_filter, inner)
+
+    def _join_bnlji(self, outer, outer_row_bytes, entry):
         """Indexed block nested loop: seek the inner per outer row."""
         table = self.catalog.table(entry.table_name)
-        predicate = self._compiled_filter(entry)
         ops, memcmp = predicate_cost(entry.local_filter, self.catalog,
                                      self._tables)
         index_edge = None
@@ -352,48 +394,55 @@ class PipelineExecutor:
         inner_bytes = self._materialized_bytes(entry)
         out_bytes = outer_row_bytes + inner_bytes
         counters = self.counters
-        result = []
-        for outer in outer_rows:
-            value = outer.get(outer_key)
-            if value is None:
-                continue
-            counters.index_seeks += 1
-            if use_pk:
-                match = table.get_by_pk(value, stats=stats,
-                                        columns=needed,
-                                        qualified_as=entry.alias)
-                matches = () if match is None else (match,)
-            else:
-                matches = table.index_lookup(
-                    entry.index_column, value, stats=stats,
-                    columns=needed, qualified_as=entry.alias)
-            for row in matches:
-                counters.records_evaluated += 1
-                counters.predicate_ops += ops
-                counters.memcmp_bytes += memcmp
-                if predicate is not None and not predicate(row):
+        # Seeks run row-at-a-time in outer order — the LSM access order
+        # (and therefore block-cache state) must match the row engine —
+        # but matched records are collected raw and decoded in one pass.
+        keys = outer.column_list_or_none(outer_key)
+        outer_idx = []
+        raws = []
+        if use_pk:
+            for i, value in enumerate(keys):
+                if value is None:
                     continue
-                merged = dict(outer)
-                merged.update(self._project_qualified(row, q_projection,
-                                                      exact))
-                if not self._extra_edges_hold(merged, extra_edges):
+                counters.index_seeks += 1
+                raw = table.get_record(value, stats=stats)
+                if raw is not None:
+                    outer_idx.append(i)
+                    raws.append(raw)
+        else:
+            for i, value in enumerate(keys):
+                if value is None:
                     continue
-                result.append(merged)
-                counters.bytes_materialized += out_bytes
+                counters.index_seeks += 1
+                for raw in table.index_lookup_raw(entry.index_column, value,
+                                                  stats=stats):
+                    outer_idx.append(i)
+                    raws.append(raw)
+        inner = table.codec.batch_projector(needed, entry.alias)(raws)
+        m = len(inner)
+        counters.records_evaluated += m
+        counters.predicate_ops += ops * m
+        counters.memcmp_bytes += memcmp * m
+        keep = self._inner_filter(entry, inner)
+        inner_proj = inner if exact else inner.project(q_projection)
+        aligned_outer = outer.take(outer_idx)
+        if extra_edges:
+            keep = keep & _edge_mask(extra_edges, aligned_outer, inner_proj)
+        result = aligned_outer.select(keep).merged(inner_proj.select(keep))
+        counters.bytes_materialized += out_bytes * len(result)
         counters.absorb_read_stats(stats)
         counters.output_rows += len(result)
         return result, out_bytes
 
-    def _join_bnlj(self, outer_rows, outer_row_bytes, entry):
+    def _join_bnlj(self, outer, outer_row_bytes, entry):
         """Block nested loop with a hash table built in the join buffer.
 
         The outer is cut into blocks that fit the join buffer; the inner
         is physically re-scanned per block (the LSM counters therefore
         grow with block count — the buffer-pressure effect the paper
-        reports for small buffers).
+        reports for small buffers) but decoded and filtered only once.
         """
         table = self.catalog.table(entry.table_name)
-        predicate = self._compiled_filter(entry)
         ops, memcmp = predicate_cost(entry.local_filter, self.catalog,
                                      self._tables)
         edges = entry.join_edges
@@ -402,6 +451,7 @@ class PipelineExecutor:
         needed, q_projection, exact = self._decode_plan(entry)
         inner_columns = [f"{entry.alias}.{edge.column_of(entry.alias)}"
                          for edge in edges]
+        build = table.codec.batch_projector(needed, entry.alias)
 
         per_row = max(1, outer_row_bytes)
         rows_per_block = max(1, self.config.join_buffer_bytes // per_row)
@@ -409,50 +459,66 @@ class PipelineExecutor:
         out_bytes = outer_row_bytes + inner_bytes
         counters = self.counters
 
-        result = []
-        for start in range(0, max(len(outer_rows), 1), rows_per_block):
-            block = outer_rows[start:start + rows_per_block]
-            if not block:
+        n_outer = len(outer)
+        outer_tuples = self._key_tuples(outer, outer_keys)
+        inner_proj = None
+        probe = None
+        out_outer = []
+        out_inner = []
+        for start in range(0, max(n_outer, 1), rows_per_block):
+            stop = min(start + rows_per_block, n_outer)
+            if stop <= start:
                 break
             hash_table = {}
-            for outer in block:
-                key = tuple(outer.get(name) for name in outer_keys)
+            built = 0
+            for i in range(start, stop):
+                key = outer_tuples[i]
                 if None in key:
                     continue
-                hash_table.setdefault(key, []).append(outer)
-                counters.hash_probes += 1
-            counters.bytes_materialized += len(block) * per_row
-            for row in self._inner_scan(table, entry, needed):
-                counters.records_evaluated += 1
-                counters.predicate_ops += ops
-                counters.memcmp_bytes += memcmp
-                if predicate is not None and not predicate(row):
-                    continue
-                key = tuple(row.get(column) for column in inner_columns)
-                if None in key:
-                    continue
-                counters.hash_probes += 1
+                hash_table.setdefault(key, []).append(i)
+                built += 1
+            counters.hash_probes += built
+            counters.bytes_materialized += (stop - start) * per_row
+            raws = self._inner_pass(table, entry)
+            if inner_proj is None:
+                inner = build(raws)
+                keep = self._inner_filter(entry, inner)
+                inner_proj = inner if exact else inner.project(q_projection)
+                key_lists = [inner.column_list_or_none(column)
+                             for column in inner_columns]
+                probe = []
+                for j in np.flatnonzero(keep).tolist():
+                    key = tuple(lst[j] for lst in key_lists)
+                    if None in key:
+                        continue
+                    probe.append((j, key))
+            m = len(raws)
+            counters.records_evaluated += m
+            counters.predicate_ops += ops * m
+            counters.memcmp_bytes += memcmp * m
+            counters.hash_probes += len(probe)
+            for j, key in probe:
                 partners = hash_table.get(key)
                 if not partners:
                     continue
-                inner_projected = self._project_qualified(
-                    row, q_projection, exact)
-                for outer in partners:
-                    merged = dict(outer)
-                    merged.update(inner_projected)
-                    result.append(merged)
-                    counters.bytes_materialized += out_bytes
+                for i in partners:
+                    out_outer.append(i)
+                    out_inner.append(j)
+        if inner_proj is None:
+            inner = build([])
+            inner_proj = inner if exact else inner.project(q_projection)
+        result = outer.take(out_outer).merged(inner_proj.take(out_inner))
+        counters.bytes_materialized += out_bytes * len(result)
         counters.output_rows += len(result)
         return result, out_bytes
 
-    def _join_nlj(self, outer_rows, outer_row_bytes, entry):
+    def _join_nlj(self, outer, outer_row_bytes, entry):
         """Classical nested loop join: re-scan the inner per outer row.
 
         Present for completeness (nKV offers it, §2.1); the optimizer
         never picks it, but forced plans can.
         """
         table = self.catalog.table(entry.table_name)
-        predicate = self._compiled_filter(entry)
         ops, memcmp = predicate_cost(entry.local_filter, self.catalog,
                                      self._tables)
         edges = entry.join_edges
@@ -461,31 +527,47 @@ class PipelineExecutor:
         needed, q_projection, exact = self._decode_plan(entry)
         inner_columns = [f"{entry.alias}.{edge.column_of(entry.alias)}"
                          for edge in edges]
+        build = table.codec.batch_projector(needed, entry.alias)
         inner_bytes = self._materialized_bytes(entry)
         out_bytes = outer_row_bytes + inner_bytes
         counters = self.counters
-        result = []
-        for outer in outer_rows:
-            key = tuple(outer.get(name) for name in outer_keys)
+        outer_tuples = self._key_tuples(outer, outer_keys)
+        inner_proj = None
+        matches = None
+        out_outer = []
+        out_inner = []
+        for i, key in enumerate(outer_tuples):
             if None in key:
                 continue
-            for row in self._inner_scan(table, entry, needed):
-                counters.records_evaluated += 1
-                counters.predicate_ops += ops + len(edges)
-                counters.memcmp_bytes += memcmp
-                if predicate is not None and not predicate(row):
-                    continue
-                if tuple(row.get(c) for c in inner_columns) != key:
-                    continue
-                merged = dict(outer)
-                merged.update(self._project_qualified(row, q_projection,
-                                                      exact))
-                result.append(merged)
-                counters.bytes_materialized += out_bytes
+            raws = self._inner_pass(table, entry)
+            if inner_proj is None:
+                inner = build(raws)
+                keep = self._inner_filter(entry, inner)
+                inner_proj = inner if exact else inner.project(q_projection)
+                key_lists = [inner.column_list_or_none(column)
+                             for column in inner_columns]
+                matches = {}
+                for j in np.flatnonzero(keep).tolist():
+                    inner_key = tuple(lst[j] for lst in key_lists)
+                    if None in inner_key:
+                        continue
+                    matches.setdefault(inner_key, []).append(j)
+            m = len(raws)
+            counters.records_evaluated += m
+            counters.predicate_ops += (ops + len(edges)) * m
+            counters.memcmp_bytes += memcmp * m
+            for j in matches.get(key, ()):
+                out_outer.append(i)
+                out_inner.append(j)
+        if inner_proj is None:
+            inner = build([])
+            inner_proj = inner if exact else inner.project(q_projection)
+        result = outer.take(out_outer).merged(inner_proj.take(out_inner))
+        counters.bytes_materialized += out_bytes * len(result)
         counters.output_rows += len(result)
         return result, out_bytes
 
-    def _join_ghj(self, outer_rows, outer_row_bytes, entry):
+    def _join_ghj(self, outer, outer_row_bytes, entry):
         """Grace hash join: partition both inputs, then hash per pair.
 
         Partitions are materialized (on-device they would be persisted
@@ -493,7 +575,6 @@ class PipelineExecutor:
         and each pair joins with one in-buffer hash table.
         """
         table = self.catalog.table(entry.table_name)
-        predicate = self._compiled_filter(entry)
         ops, memcmp = predicate_cost(entry.local_filter, self.catalog,
                                      self._tables)
         edges = entry.join_edges
@@ -502,83 +583,106 @@ class PipelineExecutor:
         needed, q_projection, exact = self._decode_plan(entry)
         inner_columns = [f"{entry.alias}.{edge.column_of(entry.alias)}"
                          for edge in edges]
+        build = table.codec.batch_projector(needed, entry.alias)
         inner_bytes = self._materialized_bytes(entry)
         out_bytes = outer_row_bytes + inner_bytes
         counters = self.counters
 
         per_row = max(1, outer_row_bytes)
-        outer_bytes_total = len(outer_rows) * per_row
+        outer_bytes_total = len(outer) * per_row
         partitions = max(1, -(-outer_bytes_total
                               // self.config.join_buffer_bytes))
 
+        outer_tuples = self._key_tuples(outer, outer_keys)
         outer_parts = [[] for _ in range(partitions)]
-        for outer in outer_rows:
-            key = tuple(outer.get(name) for name in outer_keys)
+        built = 0
+        for i, key in enumerate(outer_tuples):
             if None in key:
                 continue
-            counters.hash_probes += 1
-            counters.bytes_materialized += per_row
-            outer_parts[stable_hash(key) % partitions].append((key, outer))
+            built += 1
+            part = stable_hash(key) % partitions if partitions > 1 else 0
+            outer_parts[part].append((key, i))
+        counters.hash_probes += built
+        counters.bytes_materialized += built * per_row
 
+        raws = self._inner_pass(table, entry)
+        inner = build(raws)
+        m = len(inner)
+        counters.records_evaluated += m
+        counters.predicate_ops += ops * m
+        counters.memcmp_bytes += memcmp * m
+        keep = self._inner_filter(entry, inner)
+        inner_proj = inner if exact else inner.project(q_projection)
+        key_lists = [inner.column_list_or_none(column)
+                     for column in inner_columns]
         inner_parts = [[] for _ in range(partitions)]
-        for row in self._inner_scan(table, entry, needed):
-            counters.records_evaluated += 1
-            counters.predicate_ops += ops
-            counters.memcmp_bytes += memcmp
-            if predicate is not None and not predicate(row):
-                continue
-            key = tuple(row.get(c) for c in inner_columns)
+        passed = 0
+        for j in np.flatnonzero(keep).tolist():
+            key = tuple(lst[j] for lst in key_lists)
             if None in key:
                 continue
-            counters.hash_probes += 1
-            counters.bytes_materialized += inner_bytes
-            inner_parts[stable_hash(key) % partitions].append((key, row))
+            passed += 1
+            part = stable_hash(key) % partitions if partitions > 1 else 0
+            inner_parts[part].append((key, j))
+        counters.hash_probes += passed
+        counters.bytes_materialized += inner_bytes * passed
 
-        result = []
+        out_outer = []
+        out_inner = []
         for outer_part, inner_part in zip(outer_parts, inner_parts):
             hash_table = {}
-            for key, outer in outer_part:
-                hash_table.setdefault(key, []).append(outer)
-            for key, row in inner_part:
-                counters.hash_probes += 1
+            for key, i in outer_part:
+                hash_table.setdefault(key, []).append(i)
+            counters.hash_probes += len(inner_part)
+            for key, j in inner_part:
                 partners = hash_table.get(key)
                 if not partners:
                     continue
-                inner_projected = self._project_qualified(
-                    row, q_projection, exact)
-                for outer in partners:
-                    merged = dict(outer)
-                    merged.update(inner_projected)
-                    result.append(merged)
-                    counters.bytes_materialized += out_bytes
+                for i in partners:
+                    out_outer.append(i)
+                    out_inner.append(j)
+        result = outer.take(out_outer).merged(inner_proj.take(out_inner))
+        counters.bytes_materialized += out_bytes * len(result)
         counters.output_rows += len(result)
         return result, out_bytes
 
-    def _inner_scan(self, table, entry, needed):
-        """Rows of the inner table for one BNLJ block pass."""
+    @staticmethod
+    def _key_tuples(batch, names):
+        """Per-row join-key tuples as Python values (None = NULL)."""
+        if not names:
+            return [()] * len(batch)
+        key_lists = [batch.column_list_or_none(name) for name in names]
+        return list(zip(*key_lists))
+
+    def _inner_pass(self, table, entry):
+        """Raw record bytes of the inner table for one join pass.
+
+        One physical LSM pass (same access order and read stats as the
+        row engine's per-block rescan); decode happens once, outside.
+        """
         stats = self._stats()
+        raws = []
         if (entry.access_path is AccessPath.SECONDARY_LOOKUP
                 and entry.index_column is not None
                 and entry.index_column not in
                 [edge.column_of(entry.alias) for edge in entry.join_edges]):
             for value in self._index_constants(entry):
                 self.counters.index_seeks += 1
-                yield from table.index_lookup(entry.index_column, value,
-                                              stats=stats, columns=needed,
-                                              qualified_as=entry.alias)
+                raws.extend(table.index_lookup_raw(entry.index_column, value,
+                                                   stats=stats))
         else:
-            yield from table.scan(stats=stats, columns=needed,
-                                  qualified_as=entry.alias)
+            raws.extend(table.scan_raw(ScanRequest(stats=stats)))
         self.counters.absorb_read_stats(stats)
+        return raws
 
     # ------------------------------------------------------------------
     # Residual predicates
     # ------------------------------------------------------------------
-    def _apply_residual(self, rows, pending, available):
+    def _apply_residual(self, batch, pending, available):
         ready = [conjunct for conjunct in pending
                  if conjunct.aliases() <= available]
         if not ready:
-            return rows, pending
+            return batch, pending
         remaining = [conjunct for conjunct in pending
                      if conjunct not in ready]
         total_ops = 0
@@ -587,44 +691,121 @@ class PipelineExecutor:
             ops, memcmp = predicate_cost(conjunct, self.catalog, self._tables)
             total_ops += ops
             total_memcmp += memcmp
-        kept = []
-        for row in rows:
-            self.counters.records_evaluated += 1
-            self.counters.predicate_ops += total_ops
-            self.counters.memcmp_bytes += total_memcmp
-            if all(conjunct.eval(row) for conjunct in ready):
-                kept.append(row)
-        return kept, remaining
+        n = len(batch)
+        if n:
+            self.counters.records_evaluated += n
+            self.counters.predicate_ops += total_ops * n
+            self.counters.memcmp_bytes += total_memcmp * n
+            keep = np.ones(n, dtype=bool)
+            for conjunct in ready:
+                keep &= eval_mask(conjunct, batch)
+            batch = batch.select(keep)
+        return batch, remaining
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _compiled_filter(self, entry):
-        expr = entry.local_filter
-        if expr is None:
-            return None
-        return expr.eval
-
     def _materialized_bytes(self, entry):
         """Bytes one projected row of this table occupies in caches."""
         if self.config.pointer_cache:
             return _POINTER_BYTES * max(1, entry.projection_field_count)
         return max(4, entry.projection_bytes)
 
-    @staticmethod
-    def _extra_edges_hold(merged, edges):
-        for edge in edges:
-            left = merged.get(f"{edge.left_alias}.{edge.left_column}")
-            right = merged.get(f"{edge.right_alias}.{edge.right_column}")
-            if left is None or right is None or left != right:
-                return False
-        return True
-
 
 def finalize(rows, select_items, group_by, counters, limit=None):
     """Final projection / aggregation / grouping stage.
 
-    Returns ``(result_rows, column_names)``.
+    ``rows`` may be a :class:`ColumnBatch`, a list of batches (a split's
+    per-batch fragments — concatenated here), or a legacy list of dict
+    rows (delegated to :func:`finalize_rows`).  Returns
+    ``(result_rows, column_names)`` with plain-Python dict rows either
+    way.
+    """
+    if isinstance(rows, ColumnBatch):
+        return _finalize_batch(rows, select_items, group_by, counters, limit)
+    rows = list(rows)
+    if rows and all(isinstance(item, ColumnBatch) for item in rows):
+        return _finalize_batch(ColumnBatch.concat(rows), select_items,
+                               group_by, counters, limit)
+    return finalize_rows(rows, select_items, group_by, counters, limit)
+
+
+def _finalize_batch(batch, select_items, group_by, counters, limit=None):
+    """Columnar finalize — counter-identical to :func:`finalize_rows`."""
+    has_aggregates = any(item.aggregate for item in select_items)
+    columns = [item.output_name for item in select_items]
+    n = len(batch)
+
+    if not has_aggregates and not group_by:
+        star = any(item.expr == "*" for item in select_items)
+        counters.records_evaluated += n
+        limited = batch if limit is None else batch[:limit]
+        if star:
+            output = limited.rows()
+            counters.output_rows += len(output)
+            if output:
+                columns = sorted(batch.schema)
+            return output, columns
+        value_lists = [(item.output_name,
+                        limited.column_list_or_none(item.expr.qualified))
+                       for item in select_items]
+        output = [{name: values[i] for name, values in value_lists}
+                  for i in range(len(limited))]
+        counters.output_rows += len(output)
+        return output, columns
+
+    key_lists = [batch.column_list_or_none(col.qualified)
+                 for col in group_by]
+    counters.records_evaluated += n
+    counters.hash_probes += n
+    groups = {}
+    for i in range(n):
+        groups.setdefault(tuple(lst[i] for lst in key_lists),
+                          []).append(i)
+    if not groups and has_aggregates and not group_by:
+        groups[()] = []
+
+    value_lists = {}
+    for item in select_items:
+        if item.expr != "*":
+            name = item.expr.qualified
+            if name not in value_lists:
+                value_lists[name] = batch.column_list_or_none(name)
+
+    output = []
+    for key, members in groups.items():
+        result = {}
+        for col, value in zip(group_by, key):
+            result[col.qualified] = value
+        for item in select_items:
+            if not item.aggregate:
+                values = value_lists[item.expr.qualified]
+                result[item.output_name] = (values[members[0]]
+                                            if members else None)
+                continue
+            if item.expr == "*":
+                values = members
+            else:
+                column = value_lists[item.expr.qualified]
+                values = [column[i] for i in members
+                          if column[i] is not None]
+            counters.records_evaluated += len(members)
+            result[item.output_name] = _aggregate(item.aggregate, values,
+                                                  item.expr == "*", members)
+        output.append(result)
+    if limit is not None:
+        output = output[:limit]
+    counters.output_rows += len(output)
+    if group_by:
+        columns = [col.qualified for col in group_by] + columns
+    return output, columns
+
+
+def finalize_rows(rows, select_items, group_by, counters, limit=None):
+    """Row-at-a-time finalize over dict rows (the retained reference).
+
+    Kept for legacy callers that hand in lists of dicts and as the
+    equivalence baseline for the columnar path.
     """
     has_aggregates = any(item.aggregate for item in select_items)
     columns = [item.output_name for item in select_items]

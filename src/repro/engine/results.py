@@ -14,7 +14,15 @@ from repro.engine.timing import TimingBreakdown
 
 @dataclass
 class QueryResult:
-    """The functional answer of a query."""
+    """The functional answer of a query.
+
+    ``rows`` is a list of plain-Python dicts.  Inside the engine,
+    operators exchange :class:`repro.columns.ColumnBatch` values;
+    ``finalize`` materialises this row view from the final batch (via
+    ``ColumnBatch.rows()``), so report row samples stay JSON-friendly
+    dicts regardless of the columnar execution underneath
+    (``docs/engine.md``).
+    """
 
     rows: list
     columns: list

@@ -43,25 +43,31 @@ class BloomFilter:
 
     def add(self, key):
         """Insert a key."""
-        h1 = zlib.crc32(key)
-        h2 = (zlib.crc32(key, 0x9E3779B9) << 15) | 1
         nbits = self._nbits
         bits = self._bits
-        for i in range(self._nhashes):
-            pos = (h1 + i * h2) % nbits
+        # (h1 + i*h2) % nbits, computed incrementally in reduced residues
+        # so the loop never multiplies or reduces a wide integer.
+        pos = zlib.crc32(key) % nbits
+        step = (((zlib.crc32(key, 0x9E3779B9) << 15) | 1)) % nbits
+        for _ in range(self._nhashes):
             bits[pos >> 3] |= 1 << (pos & 7)
+            pos += step
+            if pos >= nbits:
+                pos -= nbits
         self._items += 1
 
     def might_contain(self, key):
         """False means definitely absent; True means possibly present."""
-        h1 = zlib.crc32(key)
-        h2 = (zlib.crc32(key, 0x9E3779B9) << 15) | 1
         nbits = self._nbits
         bits = self._bits
-        for i in range(self._nhashes):
-            pos = (h1 + i * h2) % nbits
+        pos = zlib.crc32(key) % nbits
+        step = (((zlib.crc32(key, 0x9E3779B9) << 15) | 1)) % nbits
+        for _ in range(self._nhashes):
             if not bits[pos >> 3] & (1 << (pos & 7)):
                 return False
+            pos += step
+            if pos >= nbits:
+                pos -= nbits
         return True
 
     def __contains__(self, key):

@@ -25,6 +25,12 @@ class LevelStructure:
         # Cached per-level min-key arrays for binary search on the read
         # path; rebuilt lazily after mutations.
         self._min_keys = [None] * max_levels
+        # Cached all_ssts() read-precedence list; scans call it per
+        # range, so it must not be rebuilt per call.
+        self._all_ssts = None
+        # Cached lookup plan over the non-empty levels only: point gets
+        # walk this instead of enumerating every (mostly empty) level.
+        self._lookup_plan = None
 
     # ------------------------------------------------------------------
     # Structure access
@@ -43,13 +49,16 @@ class LevelStructure:
 
     def all_ssts(self):
         """Every SST, newest level first, suitable for read precedence."""
-        result = []
-        for i, ssts in enumerate(self._levels):
-            if i == 0 or self.tiered:
-                # Overlapping runs: newest (appended last) first.
-                result.extend(reversed(ssts))
-            else:
-                result.extend(ssts)
+        result = self._all_ssts
+        if result is None:
+            result = []
+            for i, ssts in enumerate(self._levels):
+                if i == 0 or self.tiered:
+                    # Overlapping runs: newest (appended last) first.
+                    result.extend(reversed(ssts))
+                else:
+                    result.extend(ssts)
+            self._all_ssts = result
         return result
 
     def sst_count(self):
@@ -77,6 +86,8 @@ class LevelStructure:
         if n == 1 or self.tiered:
             bucket.append(sst)
             self._min_keys[n - 1] = None
+            self._all_ssts = None
+            self._lookup_plan = None
             return
         keys = [existing.min_key for existing in bucket]
         pos = bisect.bisect_left(keys, sst.min_key)
@@ -88,6 +99,8 @@ class LevelStructure:
                 f"SST overlaps successor in non-overlapping level {n}")
         bucket.insert(pos, sst)
         self._min_keys[n - 1] = None
+        self._all_ssts = None
+        self._lookup_plan = None
 
     def remove(self, sst):
         """Remove an SST wherever it lives."""
@@ -95,6 +108,8 @@ class LevelStructure:
             if sst in bucket:
                 bucket.remove(sst)
                 self._min_keys[i] = None
+                self._all_ssts = None
+                self._lookup_plan = None
                 return
         raise LSMError(f"SST {sst.sst_id} not present in any level")
 
@@ -107,22 +122,29 @@ class LevelStructure:
 
     def candidates_for_key(self, key):
         """SSTs possibly containing ``key``, in read-precedence order."""
+        plan = self._lookup_plan
+        if plan is None:
+            plan = []
+            for i, bucket in enumerate(self._levels):
+                if not bucket:
+                    continue
+                if i == 0 or self.tiered:
+                    # Overlapping runs, newest (appended last) first.
+                    plan.append((True, list(reversed(bucket)), None))
+                else:
+                    plan.append((False, list(bucket),
+                                 [sst.min_key for sst in bucket]))
+            self._lookup_plan = plan
         result = []
-        for i, bucket in enumerate(self._levels):
-            if not bucket:
-                continue
-            if i == 0 or self.tiered:
-                for sst in reversed(bucket):
+        for overlapping, ssts, keys in plan:
+            if overlapping:
+                for sst in ssts:
                     if sst.min_key <= key <= sst.max_key:
                         result.append(sst)
             else:
-                keys = self._min_keys[i]
-                if keys is None:
-                    keys = [sst.min_key for sst in bucket]
-                    self._min_keys[i] = keys
                 pos = bisect.bisect_right(keys, key) - 1
-                if pos >= 0 and bucket[pos].max_key >= key:
-                    result.append(bucket[pos])
+                if pos >= 0 and ssts[pos].max_key >= key:
+                    result.append(ssts[pos])
         return result
 
     def check_invariants(self):

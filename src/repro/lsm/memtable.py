@@ -67,6 +67,8 @@ class MemTable:
 
     def get(self, key):
         """Return (found, value). Tombstones report found with value None."""
+        if not len(self._list):        # loaded-and-flushed tables sit empty
+            return False, None
         value = self._list.get(key)
         if value is None:
             return False, None

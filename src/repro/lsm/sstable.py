@@ -128,19 +128,17 @@ class SSTable:
         self.nbytes = nbytes
         self.entry_count = entry_count
         self.extent = extent
-
-    # ------------------------------------------------------------------
-    # Fence pointers / metadata
-    # ------------------------------------------------------------------
-    @property
-    def min_key(self):
-        """Smallest key in the table (fence pointer)."""
-        return self._blocks[0].first_key
-
-    @property
-    def max_key(self):
-        """Largest key in the table (fence pointer)."""
-        return self._blocks[-1].last_key
+        # Fence pointers as plain attributes: SSTs are immutable, and the
+        # read path touches these on every candidate/overlap check.
+        #: Smallest key in the table (fence pointer).
+        self.min_key = blocks[0].first_key
+        #: Largest key in the table (fence pointer).
+        self.max_key = blocks[-1].last_key
+        # Lazy {key: (block, pos)} map for point lookups; the sparse
+        # index + in-block binary search is still *charged* (index and
+        # data block cache accesses, key comparisons) exactly as if it
+        # had been walked.
+        self._point_index = None
 
     @property
     def block_count(self):
@@ -198,18 +196,34 @@ class SSTable:
         """Point lookup: (found, value). Tombstones return (True, None)."""
         if key < self.min_key or key > self.max_key:
             return False, None
-        idx = self._locate_block(key, stats)
-        block = self._blocks[idx]
-        self._charge_data_block(stats, block)
-        keys = block.keys
-        pos = bisect.bisect_left(keys, key)
-        if stats is not None:
-            stats.key_comparisons += max(1, len(keys).bit_length())
-        if pos < len(block.entries) and block.entries[pos][0] == key:
+        lookup = self._point_index
+        if lookup is None:
+            lookup = {}
+            for block in self._blocks:
+                for pos, entry in enumerate(block.entries):
+                    lookup[entry[0]] = (block, pos)
+            self._point_index = lookup
+        hit = lookup.get(key)
+        if hit is not None:
+            # Charge what the sparse-index walk would have: one index
+            # access, the containing data block, log2(block) comparisons.
+            block, pos = hit
+            self._charge_index(stats)
+            self._charge_data_block(stats, block)
+            if stats is not None:
+                stats.key_comparisons += max(
+                    1, len(block.keys).bit_length())
             value = block.entries[pos][1]
             if value == TOMBSTONE:
                 return True, None
             return True, value
+        # Absent key (bloom false positive): walk the sparse index for
+        # real to charge the block the search would have probed.
+        idx = self._locate_block(key, stats)
+        block = self._blocks[idx]
+        self._charge_data_block(stats, block)
+        if stats is not None:
+            stats.key_comparisons += max(1, len(block.keys).bit_length())
         return False, None
 
     def iter_range(self, lo=None, hi=None, stats=None):

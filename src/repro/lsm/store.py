@@ -188,14 +188,22 @@ class LSMTree:
     def get(self, key, stats=None):
         """Point lookup following the C0 -> C1 -> Ck search order."""
         stats = stats if stats is not None else ReadStats()
-        for memtable in [self._active] + list(reversed(self._immutables)):
+        stats.memtable_gets += 1
+        found, value = self._active.get(key)
+        if found:
+            return value  # may be None for a tombstone
+        for memtable in reversed(self._immutables):
             stats.memtable_gets += 1
             found, value = memtable.get(key)
             if found:
-                return value  # may be None for a tombstone
+                return value
         for sst in self.levels.candidates_for_key(key):
+            # Inlined sst.might_contain(key, stats): this loop runs once
+            # per candidate on every point lookup.
             stats.ssts_considered += 1
-            if not sst.might_contain(key, stats):
+            stats.bloom_probes += 1
+            if not sst.bloom.might_contain(key):
+                stats.bloom_negatives += 1
                 stats.ssts_skipped_bloom += 1
                 continue
             found, value = sst.get(key, stats)
@@ -212,15 +220,21 @@ class LSMTree:
         """
         stats = stats if stats is not None else ReadStats()
         sources = []
-        for memtable in [self._active] + list(reversed(self._immutables)):
-            sources.append(memtable.items(lo=lo, hi=hi))
+        if len(self._active):
+            sources.append(self._active.items(lo=lo, hi=hi))
+        for memtable in reversed(self._immutables):
+            if len(memtable):
+                sources.append(memtable.items(lo=lo, hi=hi))
         for sst in self.levels.all_ssts():
             if not sst.overlaps(lo, hi if hi is not None else None):
                 stats.ssts_skipped_fence += 1
                 continue
             stats.ssts_considered += 1
             sources.append(sst.iter_range(lo, hi, stats=stats))
-        for key, value in live_entries(merge_sources(sources)):
+        # A single source needs no heap merge and cannot self-shadow
+        # (memtables and SSTs are internally deduplicated).
+        merged = sources[0] if len(sources) == 1 else merge_sources(sources)
+        for key, value in live_entries(merged):
             stats.entries_scanned += 1
             if value_predicate is None or value_predicate(value):
                 yield key, value

@@ -10,6 +10,7 @@ way MySQL/MyRocks does.
 
 from repro.relational.schema import Column, DataType, TableSchema
 from repro.relational.encoding import RecordCodec, decode_key, encode_key
+from repro.relational.scan import ScanRequest
 from repro.relational.table import RelationalTable, SecondaryIndex
 from repro.relational.catalog import Catalog
 from repro.relational.statistics import ColumnStats, TableStatistics
@@ -21,6 +22,7 @@ __all__ = [
     "RecordCodec",
     "encode_key",
     "decode_key",
+    "ScanRequest",
     "RelationalTable",
     "SecondaryIndex",
     "Catalog",

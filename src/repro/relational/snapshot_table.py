@@ -13,6 +13,7 @@ visible.
 from repro.errors import CatalogError
 from repro.lsm.store import ReadStats
 from repro.relational.encoding import encode_key, split_composite_key
+from repro.relational.scan import check_scan_args, run_scan_batch
 from repro.relational.schema import DataType
 
 
@@ -66,20 +67,54 @@ class SnapshotTable:
             return None
         return self._decoder(columns, qualified_as)(raw)
 
-    def scan(self, predicate=None, projection=None, stats=None,
-             pk_lo=None, pk_hi=None, columns=None, qualified_as=None):
-        """Full or PK-range scan over the snapshot."""
-        stats = stats if stats is not None else ReadStats()
-        lo = None if pk_lo is None else encode_key(pk_lo)
-        hi = None if pk_hi is None else encode_key(pk_hi + 1)
-        decode = self._decoder(columns, qualified_as)
+    def scan(self, request=None, **kwargs):
+        """Full or PK-range scan over the snapshot.
+
+        Takes one :class:`~repro.relational.scan.ScanRequest`, exactly
+        like :meth:`RelationalTable.scan`.
+        """
+        request = check_scan_args("SnapshotTable.scan", request, kwargs)
+        return self._scan_rows(request)
+
+    def _scan_rows(self, request):
+        stats = request.stats if request.stats is not None else ReadStats()
+        lo = None if request.pk_lo is None else encode_key(request.pk_lo)
+        hi = None if request.pk_hi is None else encode_key(request.pk_hi + 1)
+        decode = self._decoder(request.columns, request.qualified_as)
         for _key, raw in self._primary.scan(lo=lo, hi=hi, stats=stats):
             row = decode(raw)
-            if predicate is not None and not predicate(row):
+            if request.predicate is not None and not request.predicate(row):
                 continue
-            if projection is not None:
-                row = {name: row.get(name) for name in projection}
+            if request.projection is not None:
+                row = {name: row.get(name) for name in request.projection}
             yield row
+
+    def scan_batch(self, request=None, **kwargs):
+        """Vectorized snapshot scan into a ColumnBatch (see
+        :meth:`RelationalTable.scan_batch`)."""
+        request = check_scan_args("SnapshotTable.scan_batch", request,
+                                  kwargs)
+        return run_scan_batch(
+            self.codec, self.schema,
+            lambda lo, hi, stats: self._primary.scan(lo=lo, hi=hi,
+                                                     stats=stats),
+            request, "SnapshotTable.scan_batch")
+
+    def scan_raw(self, request=None, **kwargs):
+        """Snapshot scan yielding undecoded record bytes."""
+        request = check_scan_args("SnapshotTable.scan_raw", request, kwargs)
+        return self._scan_raw(request)
+
+    def _scan_raw(self, request):
+        stats = request.stats if request.stats is not None else ReadStats()
+        lo = None if request.pk_lo is None else encode_key(request.pk_lo)
+        hi = None if request.pk_hi is None else encode_key(request.pk_hi + 1)
+        for _key, raw in self._primary.scan(lo=lo, hi=hi, stats=stats):
+            yield raw
+
+    def get_record(self, pk_value, stats=None):
+        """Undecoded record bytes for one primary key, or None."""
+        return self._primary.get(encode_key(pk_value), stats=stats)
 
     def index_lookup(self, column_name, value, stats=None, columns=None,
                      qualified_as=None):
@@ -107,6 +142,30 @@ class SnapshotTable:
             raw = self._primary.get(primary_raw, stats=stats)
             if raw is not None:
                 yield decode(raw)
+
+    def index_lookup_raw(self, column_name, value, stats=None):
+        """Undecoded record bytes via the snapshotted secondary index.
+
+        Same LSM access order (secondary view walk, then primary seeks)
+        as :meth:`index_lookup` — only decoding is deferred.
+        """
+        try:
+            column, view = self._indexes[column_name]
+        except KeyError:
+            raise CatalogError(
+                f"{self.name}: no snapshotted index on {column_name!r}"
+            ) from None
+        stats = stats if stats is not None else ReadStats()
+        width = column.width if column.dtype is DataType.CHAR else None
+        prefix = encode_key(value, width)
+        hi = prefix + b"\xff" * 9
+        for key, _empty in view.scan(lo=prefix, hi=hi, stats=stats):
+            secondary_raw, primary_raw = split_composite_key(key)
+            if secondary_raw != prefix:
+                continue
+            raw = self._primary.get(primary_raw, stats=stats)
+            if raw is not None:
+                yield raw
 
     def has_index_on(self, column_name):
         """Whether the snapshot carries an index on the column."""

@@ -12,6 +12,7 @@ from repro.errors import CatalogError, SchemaError
 from repro.lsm.store import ReadStats
 from repro.relational.encoding import (RecordCodec, composite_key, encode_key,
                                        split_composite_key)
+from repro.relational.scan import check_scan_args, run_scan_batch
 from repro.relational.schema import DataType
 from repro.relational.statistics import TableStatistics
 
@@ -189,27 +190,62 @@ class RelationalTable:
             return None
         return self._decoder(columns, qualified_as)(raw)
 
-    def scan(self, predicate=None, projection=None, stats=None,
-             pk_lo=None, pk_hi=None, columns=None, qualified_as=None):
+    def scan(self, request=None, **kwargs):
         """Full or PK-range scan; yields decoded rows.
 
-        ``predicate`` filters decoded rows; ``projection`` limits the
-        *output* columns, ``columns`` limits *decoding* (it must cover
-        the projection and every predicate column).  Either way the
-        record is read in full from storage — projection saves
-        downstream bytes, not I/O, matching the paper's model.
+        Takes one :class:`~repro.relational.scan.ScanRequest`;
+        ``request.predicate`` filters decoded rows, ``request.projection``
+        limits the *output* columns, ``request.columns`` limits
+        *decoding* (it must cover the projection and every predicate
+        column).  Either way the record is read in full from storage —
+        projection saves downstream bytes, not I/O, matching the
+        paper's model.
         """
-        stats = stats if stats is not None else ReadStats()
-        lo = None if pk_lo is None else encode_key(pk_lo)
-        hi = None if pk_hi is None else encode_key(pk_hi + 1)
-        decode = self._decoder(columns, qualified_as)
+        request = check_scan_args("RelationalTable.scan", request, kwargs)
+        return self._scan_rows(request)
+
+    def _scan_rows(self, request):
+        stats = request.stats if request.stats is not None else ReadStats()
+        lo = None if request.pk_lo is None else encode_key(request.pk_lo)
+        hi = None if request.pk_hi is None else encode_key(request.pk_hi + 1)
+        decode = self._decoder(request.columns, request.qualified_as)
         for _key, raw in self.family.scan(lo=lo, hi=hi, stats=stats):
             row = decode(raw)
-            if predicate is not None and not predicate(row):
+            if request.predicate is not None and not request.predicate(row):
                 continue
-            if projection is not None:
-                row = {name: row.get(name) for name in projection}
+            if request.projection is not None:
+                row = {name: row.get(name) for name in request.projection}
             yield row
+
+    def scan_batch(self, request=None, **kwargs):
+        """Vectorized scan: decode matching records into a ColumnBatch.
+
+        Storage access (LSM reads, stats) is identical to :meth:`scan`;
+        pk-bound clamping and shard-membership pruning happen on the
+        decoded primary-key column, vectorized.
+        """
+        request = check_scan_args("RelationalTable.scan_batch", request,
+                                  kwargs)
+        return run_scan_batch(
+            self.codec, self.schema,
+            lambda lo, hi, stats: self.family.scan(lo=lo, hi=hi, stats=stats),
+            request, "RelationalTable.scan_batch")
+
+    def scan_raw(self, request=None, **kwargs):
+        """Scan yielding undecoded record bytes (batch-decode feeds)."""
+        request = check_scan_args("RelationalTable.scan_raw", request, kwargs)
+        return self._scan_raw(request)
+
+    def _scan_raw(self, request):
+        stats = request.stats if request.stats is not None else ReadStats()
+        lo = None if request.pk_lo is None else encode_key(request.pk_lo)
+        hi = None if request.pk_hi is None else encode_key(request.pk_hi + 1)
+        for _key, raw in self.family.scan(lo=lo, hi=hi, stats=stats):
+            yield raw
+
+    def get_record(self, pk_value, stats=None):
+        """Undecoded record bytes for one primary key, or None."""
+        return self.family.get(self.primary_key_bytes(pk_value), stats=stats)
 
     def index_lookup(self, column_name, value, stats=None, columns=None,
                      qualified_as=None):
@@ -220,6 +256,18 @@ class RelationalTable:
             raw = self.family.get(primary_raw, stats=stats)
             if raw is not None:
                 yield decode(raw)
+
+    def index_lookup_raw(self, column_name, value, stats=None):
+        """Undecoded record bytes with ``column == value`` via the index.
+
+        Same LSM access order (secondary walk, then primary seeks) as
+        :meth:`index_lookup` — only decoding is deferred.
+        """
+        index = self.index_on(column_name)
+        for primary_raw in index.primary_keys_for(value, stats=stats):
+            raw = self.family.get(primary_raw, stats=stats)
+            if raw is not None:
+                yield raw
 
     def index_on(self, column_name):
         """The secondary index over a column; raises when absent."""

@@ -14,6 +14,7 @@ from repro.cluster import Partitioner, TableShard
 from repro.errors import ReproError
 from repro.lsm.column_family import KVDatabase
 from repro.relational.catalog import Catalog
+from repro.relational.scan import ScanRequest
 from repro.relational.schema import int_col, TableSchema
 
 from tests.conftest import small_lsm_config
@@ -29,7 +30,7 @@ def owners(partitioner, table, keys):
 def table_keys(catalog, name):
     table = catalog.table(name)
     pk = table.schema.primary_key
-    return [row[pk] for row in table.scan(columns=[pk])]
+    return [row[pk] for row in table.scan(ScanRequest(columns=(pk,)))]
 
 
 @pytest.mark.parametrize("kind", ["hash", "range"])

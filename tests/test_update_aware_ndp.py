@@ -11,6 +11,7 @@ from repro.engine.stacks import Stack, StackRunner
 from repro.errors import CatalogError
 from repro.lsm.snapshot import SharedState
 from repro.query.ast import conjuncts
+from repro.relational.scan import ScanRequest
 from repro.relational.snapshot_table import SnapshotCatalog, SnapshotTable
 from repro.storage.topology import Topology
 
@@ -80,7 +81,7 @@ class TestSnapshotTable:
         title = mini_catalog.table("title")
         state = SharedState.capture(kv_db, title.column_families())
         snap = SnapshotTable(title, state)
-        ids = [r["id"] for r in snap.scan(pk_lo=10, pk_hi=12)]
+        ids = [r["id"] for r in snap.scan(ScanRequest(pk_lo=10, pk_hi=12))]
         assert ids == [10, 11, 12]
 
 
