@@ -250,6 +250,36 @@ def cmd_bench_concurrent(args):
     return 0
 
 
+def cmd_bench_adaptive(args):
+    from repro.bench.adaptive import DEFAULT_QUERIES, adaptive_matrix
+    env = _build_env(args)
+    summary = adaptive_matrix(
+        env, query_names=args.queries or DEFAULT_QUERIES,
+        rounds=args.rounds, skew=args.skew, alpha=args.alpha,
+        error_threshold=args.error_threshold)
+    rows = []
+    for row in summary["rounds"]:
+        replans = sum(cell["replans"]
+                      for cell in row["per_query"].values())
+        rows.append([row["round"], ms(row["static_regret"]),
+                     ms(row["adaptive_regret"]), replans])
+    print(format_table(
+        ["round", "static regret", "adaptive regret", "replans"], rows,
+        title=f"adaptive re-planning regret (skew {args.skew}x)"))
+    totals = summary["totals"]
+    print(f"totals: static {ms(totals['static_regret'])}, adaptive "
+          f"{ms(totals['adaptive_regret'])}; "
+          f"beats_static={totals['adaptive_beats_static']}, "
+          f"converged={totals['regret_converged']}")
+    if args.output:
+        import json
+        with open(args.output, "w") as handle:
+            json.dump(summary, handle, indent=1, sort_keys=True)
+        print(f"summary written to {args.output}")
+    return 0 if (totals["adaptive_beats_static"]
+                 and totals["regret_converged"]) else 1
+
+
 def cmd_bench_cluster(args):
     from repro.bench.cluster import DEFAULT_QUERIES, cluster_matrix
     env = _build_env(args)
@@ -436,6 +466,30 @@ def build_parser():
     bench.add_argument("--output", default=None,
                        help="also write the summary JSON to this path")
     bench.set_defaults(func=cmd_bench_concurrent)
+
+    bench_adaptive = sub.add_parser(
+        "bench-adaptive",
+        help="regret bench: adaptive re-planning vs static vs oracle "
+             "over a misestimated (skewed-prior) workload")
+    bench_adaptive.add_argument("queries", nargs="*",
+                                help="JOB query mix (default: the "
+                                     "calibrated regret mix)")
+    bench_adaptive.add_argument("--rounds", type=int, default=16,
+                                help="workload rounds (default 16)")
+    bench_adaptive.add_argument("--skew", type=float, default=50.0,
+                                help="stale-statistics prior factor "
+                                     "(default 50)")
+    bench_adaptive.add_argument("--alpha", type=float, default=0.5,
+                                help="EWMA observation weight "
+                                     "(default 0.5)")
+    bench_adaptive.add_argument("--error-threshold", type=float,
+                                default=2.0,
+                                help="breaker error triggering a "
+                                     "revision (default 2.0)")
+    bench_adaptive.add_argument("--output", default=None,
+                                help="also write the summary JSON to "
+                                     "this path")
+    bench_adaptive.set_defaults(func=cmd_bench_adaptive)
 
     bench_cluster = sub.add_parser(
         "bench-cluster", parents=[execution],

@@ -5,6 +5,7 @@ evaluation (§5) and returns plain data structures; ``reporting`` renders
 them as the paper-style tables the benchmarks print.
 """
 
+from repro.bench.adaptive import adaptive_matrix, strategy_sweep
 from repro.bench.chaos import (SCENARIOS, chaos_matrix, run_chaos,
                                scenario_plan)
 from repro.bench.cluster import cluster_matrix, run_cluster_benchmark
@@ -31,6 +32,8 @@ from repro.bench.parallel import (default_workers, strategy_times,
 from repro.bench.reporting import format_table, render_matrix_summary
 
 __all__ = [
+    "adaptive_matrix",
+    "strategy_sweep",
     "default_workers",
     "strategy_times",
     "sweep_job_matrix",

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.columns import ColumnBatch
 from repro.context import ExecutionContext
-from repro.core import DeviceLoad, ExecutionStrategy
+from repro.core import DeviceLoad, ExecutionStrategy, PlanningContext
 from repro.cluster.partition import Partitioner
 from repro.engine.cooperative import CooperativeExecutor
 from repro.engine.counters import WorkCounters
@@ -381,7 +381,8 @@ class ScatterGatherExecutor:
         if split_index is not None:
             return min(split_index, plan.table_count - 1)
         load = self.cluster.device_load(kernel, index)
-        decision = self.cluster.env.planner.decide(plan, device_load=load)
+        decision = self.cluster.env.planner.decide(
+            plan, context=PlanningContext(device_load=load))
         if decision.strategy is ExecutionStrategy.HOST_ONLY:
             return None
         split = decision.split_index

@@ -101,32 +101,39 @@ class ExecutionContext:
 NULL_CONTEXT = ExecutionContext()
 
 
-#: Keywords deleted by the ExecutionContext migration, with their
-#: replacement spelling for the error message.
+#: Keywords deleted by a context migration, with their replacement
+#: spelling and the migration that removed them (for the error message).
 _REMOVED_KWARGS = {
-    "tracer": "ctx=ExecutionContext(tracer=...)",
-    "faults": "ctx=ExecutionContext(faults=...)",
-    "tracer_factory": "ctx_factory=lambda name: "
-                      "ExecutionContext(tracer=...)",
+    "tracer": ("ctx=ExecutionContext(tracer=...)",
+               "ExecutionContext"),
+    "faults": ("ctx=ExecutionContext(faults=...)",
+               "ExecutionContext"),
+    "tracer_factory": ("ctx_factory=lambda name: "
+                       "ExecutionContext(tracer=...)",
+                       "ExecutionContext"),
+    "device_load": ("context=PlanningContext(device_load=...)",
+                    "PlanningContext"),
 }
 
 
 def reject_removed_kwargs(where, kwargs):
-    """Fail loudly on keywords the ExecutionContext migration removed.
+    """Fail loudly on keywords a context migration removed.
 
     Entry points that used to take ``tracer=`` / ``faults=`` (or
-    ``tracer_factory=``) collect stray keywords into ``**kwargs`` and
-    route them here: a removed keyword raises a
-    :class:`~repro.errors.ReproError` naming its replacement, anything
-    else raises ``TypeError`` like a normal unexpected keyword.
+    ``tracer_factory=``, or the planner's ``device_load=``) collect
+    stray keywords into ``**kwargs`` and route them here: a removed
+    keyword raises a :class:`~repro.errors.ReproError` naming its
+    replacement, anything else raises ``TypeError`` like a normal
+    unexpected keyword.
     """
     for name in kwargs:
         replacement = _REMOVED_KWARGS.get(name)
         if replacement is not None:
+            replacement, migration = replacement
             raise ReproError(
                 f"{where}() no longer accepts {name}=; pass {replacement} "
                 f"instead (the legacy keywords were removed with the "
-                f"ExecutionContext migration)")
+                f"{migration} migration)")
     if kwargs:
         unexpected = sorted(kwargs)[0]
         raise TypeError(

@@ -8,6 +8,9 @@ hybrid planner that decides host-only / full-NDP / Hk for a query.
 
 from repro.core.hardware import HardwareModel
 from repro.core.cost_model import CostModel, DeviceLoad, NodeCost, PlanCost
+from repro.core.planning import (NULL_PLANNING, CardinalityFeedback,
+                                 CostCorrection, CostEstimate,
+                                 PlanningContext, ReplanPolicy)
 from repro.core.splitter import SplitChoice, SplitPlanner
 from repro.core.strategy import ExecutionStrategy, HybridDecision
 from repro.core.planner import HybridPlanner
@@ -23,4 +26,10 @@ __all__ = [
     "ExecutionStrategy",
     "HybridDecision",
     "HybridPlanner",
+    "PlanningContext",
+    "NULL_PLANNING",
+    "CostEstimate",
+    "CardinalityFeedback",
+    "CostCorrection",
+    "ReplanPolicy",
 ]

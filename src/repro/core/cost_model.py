@@ -111,22 +111,44 @@ class CostModel:
     """Computes per-node and cumulative plan costs (eqs. 1-8)."""
 
     def __init__(self, hardware, usr_rec=DEFAULT_USR_REC,
-                 block_bytes=16 * 1024, device_load=None):
+                 block_bytes=16 * 1024, device_load=None, correction=1.0):
         self.hardware = hardware
         self.usr_rec = usr_rec
         self.block_bytes = block_bytes   # tbl_nbs
         self.device_load = device_load   # None = unloaded device
+        #: Multiplicative correction on intermediate-result cardinalities
+        #: (``node_ren``), learned from prior executions by the EWMA
+        #: layer (:class:`~repro.core.planning.CostCorrection`).  1.0 =
+        #: trust the sampled statistics; applied to *both* placements —
+        #: a cardinality error is a property of the data, not of where
+        #: the join runs.
+        self.correction = correction
 
-    def with_load(self, device_load):
+    def with_load(self, device_load, correction=None):
         """A copy of this model pricing device work under ``device_load``.
 
         Host-placement costs are unchanged — the load model captures
         *device* contention; host contention shows up in the simulated
-        timeline, not the planning estimate.
+        timeline, not the planning estimate.  ``correction`` optionally
+        replaces the cardinality-correction factor in the same breath.
         """
         return CostModel(self.hardware, usr_rec=self.usr_rec,
                          block_bytes=self.block_bytes,
-                         device_load=device_load)
+                         device_load=device_load,
+                         correction=(self.correction if correction is None
+                                     else correction))
+
+    def corrected_rows(self, estimated_output_rows):
+        """``node_ren`` after the EWMA cardinality correction.
+
+        With the neutral factor this is exactly the historical
+        ``max(1, estimated_output_rows)`` — corrected and uncorrected
+        models price identically, so adaptivity off stays byte-identical.
+        """
+        node_ren = max(1, estimated_output_rows)
+        if self.correction != 1.0:
+            node_ren = max(1, int(round(node_ren * self.correction)))
+        return node_ren
 
     # ------------------------------------------------------------------
     # Per-table components
@@ -205,7 +227,7 @@ class CostModel:
         for entry in plan.entries:
             c_scan = self.scan_cost(entry, on_device) * compute_scale
             c_cpu = self.cpu_cost(entry, on_device) * compute_scale
-            node_ren = max(1, entry.estimated_output_rows)
+            node_ren = self.corrected_rows(entry.estimated_output_rows)
             node_pbn = self._prefix_row_bytes(plan, entry)
             # Buffer management: how many buffer refills the node's
             # output causes on its placement's buffer size.

@@ -5,9 +5,17 @@ the device's buffer policy.  The decision flow follows §3: check the
 offloading preconditions, compare total host and device QEP costs,
 compute the split target, and estimate the hybrid cost as the parallel
 composition of the two fragments (the cooperative model overlaps them).
+
+Everything the decision depends on besides the query travels in a
+frozen :class:`~repro.core.planning.PlanningContext` — device load,
+EWMA correction state, re-planning thresholds.  The legacy
+``device_load=`` keyword was removed and raises a
+:class:`~repro.errors.ReproError` naming the replacement.
 """
 
+from repro.context import reject_removed_kwargs
 from repro.core.cost_model import CostModel
+from repro.core.planning import CostEstimate, PlanningContext
 from repro.core.splitter import SplitPlanner
 from repro.core.strategy import ExecutionStrategy, HybridDecision
 from repro.query.optimizer import build_plan
@@ -29,20 +37,28 @@ class HybridPlanner:
         """Baseline physical plan for SQL text."""
         return build_plan(sql, self.catalog)
 
-    def decide(self, query, device_load=None):
+    def decide(self, query, context=None, **removed):
         """Make the offloading decision for SQL text or a QueryPlan.
 
-        ``device_load`` (a :class:`~repro.core.cost_model.DeviceLoad`)
-        re-prices device placement for a busy device: the concurrent
-        scheduler passes its measured utilization snapshot so placement
-        is load-aware — a hot device inflates device-side costs and the
-        decision drifts toward host-only / smaller splits.
+        ``context`` (a :class:`~repro.core.planning.PlanningContext`)
+        carries the device pressure snapshot, the EWMA cardinality
+        correction learned from prior executions, and the mid-query
+        re-planning policy.  A loaded device inflates device-side costs
+        so placement drifts toward host-only / smaller splits; a
+        correction factor re-prices intermediate-result cardinalities
+        for *both* placements.  The returned decision carries typed
+        per-strategy :class:`~repro.core.planning.CostEstimate` entries
+        and can ``revise(feedback)`` itself from runtime observations.
         """
+        reject_removed_kwargs("HybridPlanner.decide", removed)
+        context = PlanningContext.coerce(context)
         plan = self.plan(query) if isinstance(query, str) else query
         cost_model = self.cost_model
         splitter = self.splitter
-        if device_load is not None:
-            cost_model = cost_model.with_load(device_load)
+        factor = context.correction_factor()
+        if context.device_load is not None or factor != 1.0:
+            cost_model = cost_model.with_load(context.device_load,
+                                              correction=factor)
             splitter = SplitPlanner(
                 self.hardware, cost_model,
                 min_transfer_bytes=self.splitter.min_transfer_bytes)
@@ -55,34 +71,50 @@ class HybridPlanner:
         if not all(preconditions.values()):
             failed = sorted(name for name, ok in preconditions.items()
                             if not ok)
-            return HybridDecision(
+            decision = HybridDecision(
                 strategy=ExecutionStrategy.HOST_ONLY,
                 c_total_host=c_total_host,
                 c_total_device=c_total_device,
                 preconditions=preconditions,
-                estimated_costs={"host-only": c_total_host},
+                estimates={"host-only": CostEstimate(
+                    strategy="host-only", c_total=c_total_host)},
                 reason=f"preconditions failed: {', '.join(failed)}",
+                correction_factor=factor,
+                replan=context.replan,
             )
+            return self._bind(decision, plan, context)
 
         choice = splitter.choose_split(plan)
         split_index = self._fit_to_device(plan, choice.split_index)
 
+        last = plan.table_count - 1
         estimates = {
-            "host-only": c_total_host,
-            "full-ndp": c_total_device,
+            "host-only": CostEstimate(
+                strategy="host-only", c_total=c_total_host),
+            "full-ndp": CostEstimate(
+                strategy="full-ndp", c_total=c_total_device,
+                split_index=last,
+                intermediate_rows=device_cost.nodes[last].node_ren,
+                raw_rows=max(1, plan.entries[last].estimated_output_rows)),
         }
         hybrid_estimate = self._hybrid_cost(plan, device_cost, host_cost,
                                             split_index)
-        estimates[f"H{split_index}"] = hybrid_estimate
+        estimates[f"H{split_index}"] = CostEstimate(
+            strategy=f"H{split_index}", c_total=hybrid_estimate,
+            split_index=split_index,
+            intermediate_rows=device_cost.nodes[split_index].node_ren,
+            raw_rows=max(
+                1, plan.entries[split_index].estimated_output_rows))
 
-        winner = min(estimates, key=lambda name: estimates[name])
+        winner = min(estimates,
+                     key=lambda name: estimates[name].c_total)
         if winner == "host-only":
             strategy = ExecutionStrategy.HOST_ONLY
             index = None
             reason = "host plan cheapest"
         elif winner == "full-ndp":
             strategy = ExecutionStrategy.FULL_NDP
-            index = plan.table_count - 1
+            index = last
             reason = "device plan cheapest"
         else:
             strategy = ExecutionStrategy.HYBRID
@@ -90,7 +122,7 @@ class HybridPlanner:
             reason = (f"split closest to c_target "
                       f"(distance {choice.distance:.1f})")
 
-        return HybridDecision(
+        decision = HybridDecision(
             strategy=strategy,
             split_index=index,
             c_total_host=c_total_host,
@@ -99,14 +131,34 @@ class HybridPlanner:
             split_cpu=choice.split_cpu,
             split_mem=choice.split_mem,
             cumulative_costs=choice.cumulative_costs,
-            estimated_costs=estimates,
+            estimates=estimates,
             preconditions=preconditions,
             reason=reason,
+            correction_factor=factor,
+            replan=context.replan,
         )
+        return self._bind(decision, plan, context)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _bind(self, decision, plan, context):
+        """Attach the revision closure enabling mid-query re-planning."""
+
+        def _revise(feedback):
+            revised = self.decide(plan,
+                                  context=context.with_feedback(feedback))
+            if (feedback.device_saturated
+                    and revised.strategy is not ExecutionStrategy.HOST_ONLY):
+                # A saturated device cannot absorb a restarted fragment:
+                # shed to the host regardless of the cost comparison.
+                revised.strategy = ExecutionStrategy.HOST_ONLY
+                revised.split_index = None
+                revised.reason = "device saturated at pipeline breaker"
+            return revised
+
+        return decision.bind_reviser(_revise)
+
     def _fit_to_device(self, plan, split_index):
         """Shrink the split until the NDP fragment fits device buffers."""
         while split_index > 0:

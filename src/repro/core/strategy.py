@@ -3,6 +3,8 @@
 import enum
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
+
 
 class ExecutionStrategy(enum.Enum):
     """What the hybrid planner decided to do with a query."""
@@ -14,7 +16,18 @@ class ExecutionStrategy(enum.Enum):
 
 @dataclass
 class HybridDecision:
-    """The outcome of hybrid planning for one query."""
+    """The outcome of hybrid planning for one query.
+
+    ``estimates`` carries one typed
+    :class:`~repro.core.planning.CostEstimate` per candidate strategy —
+    including the predicted intermediate-result cardinality runtime
+    feedback is checked against; :attr:`estimated_costs` remains as the
+    flat ``{strategy: cost}`` view.  A decision produced by a planner
+    can :meth:`revise` itself from a
+    :class:`~repro.core.planning.CardinalityFeedback`, re-pricing every
+    candidate with the observed cardinality — the entry point of
+    mid-query re-planning (docs/adaptivity.md).
+    """
 
     strategy: ExecutionStrategy
     split_index: int = None              # the k of Hk for HYBRID
@@ -24,9 +37,17 @@ class HybridDecision:
     split_cpu: float = 0.0               # eq. (9), percent
     split_mem: float = 0.0               # eq. (11), percent
     cumulative_costs: list = field(default_factory=list)   # Fig-5 curve
-    estimated_costs: dict = field(default_factory=dict)    # strategy -> cost
+    estimates: dict = field(default_factory=dict)  # strategy -> CostEstimate
     preconditions: dict = field(default_factory=dict)
     reason: str = ""
+    #: Cardinality correction factor the decision was priced under
+    #: (1.0 = raw statistics).
+    correction_factor: float = 1.0
+    #: The :class:`~repro.core.planning.ReplanPolicy` in force, or None.
+    replan: object = None
+
+    def __post_init__(self):
+        self._reviser = None
 
     @property
     def strategy_name(self):
@@ -34,6 +55,45 @@ class HybridDecision:
         if self.strategy is ExecutionStrategy.HYBRID:
             return f"H{self.split_index}"
         return self.strategy.value
+
+    @property
+    def estimated_costs(self):
+        """Flat ``{strategy: cost}`` view of :attr:`estimates`."""
+        return {name: estimate.c_total
+                for name, estimate in self.estimates.items()}
+
+    def estimate_for(self, name=None):
+        """The :class:`CostEstimate` of ``name`` (default: the winner)."""
+        name = name or self.strategy_name
+        estimate = self.estimates.get(name)
+        if estimate is None:
+            raise ReproError(
+                f"decision has no estimate for {name!r} "
+                f"(candidates: {sorted(self.estimates)})")
+        return estimate
+
+    def bind_reviser(self, reviser):
+        """Attach the planner's revision closure (internal)."""
+        self._reviser = reviser
+        return self
+
+    def revise(self, feedback):
+        """Re-plan from runtime ``feedback``; returns a new decision.
+
+        ``feedback`` is a
+        :class:`~repro.core.planning.CardinalityFeedback` observed at a
+        pipeline breaker.  The planner that produced this decision
+        re-prices every candidate strategy with the observed
+        intermediate cardinality pinned (and sheds to host when the
+        feedback reports a saturated device); only decisions a planner
+        produced can be revised.
+        """
+        if self._reviser is None:
+            raise ReproError(
+                "this decision cannot be revised: it was not produced by "
+                "HybridPlanner.decide (construct decisions through the "
+                "planner to enable mid-query re-planning)")
+        return self._reviser(feedback)
 
     def summary(self):
         """One-line description of the decision."""

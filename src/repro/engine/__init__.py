@@ -24,8 +24,10 @@ from repro.engine.host import HostEngine
 from repro.engine.ndp import NDPCommand, NDPEngine
 from repro.engine.cooperative import CooperativeExecutor
 from repro.engine.stacks import Stack, StackRunner
+from repro.engine.adaptive import AdaptiveRunner
 
 __all__ = [
+    "AdaptiveRunner",
     "ColumnBatch",
     "WorkCounters",
     "ExecutionLocation",

@@ -30,8 +30,9 @@ from repro.context import ExecutionContext, reject_removed_kwargs
 from repro.engine.counters import WorkCounters
 from repro.engine.results import ExecutionReport, QueryResult, TimelinePhase
 from repro.engine.timing import ExecutionLocation
-from repro.errors import (DeadlineExceededError, PlanError, ReproError,
-                          RetriesExhaustedError, TransientDeviceError)
+from repro.errors import (DeadlineExceededError, PlanError, ReplanTriggered,
+                          ReproError, RetriesExhaustedError,
+                          TransientDeviceError)
 from repro.faults import FAULTS_TRACK, NULL_INJECTOR
 from repro.query.ast import conjuncts
 from repro.sim import (DEVICE_RESOURCE, HOST_RESOURCE, LINK_RESOURCE,
@@ -136,6 +137,14 @@ class _SplitSimulation:
         self.cancelled = False    # cooperatively cancelled (see cancel())
         self.cancelled_at = None
         self.cancel_reason = None
+        #: Optional pipeline-breaker callback ``hook(sim, batch_index)``,
+        #: invoked as each device batch lands host-side — the point where
+        #: observed cardinality can be checked against the planner's
+        #: estimate (docs/adaptivity.md).  The hook may cooperatively
+        #: ``cancel()`` the run to trigger mid-query re-planning.  None
+        #: (the default) is zero-cost: no call, no trace delta, byte-
+        #: identical to builds without the hook.
+        self.breaker_hook = None
 
     # -- helpers -------------------------------------------------------
     def _phase(self, actor, kind, start, end, label, resource="",
@@ -429,6 +438,14 @@ class _SplitSimulation:
         if self.cancelled:
             return
         self.ready[i] = self.clock.now
+        if self.breaker_hook is not None:
+            # Pipeline breaker: batch ``i`` just crossed the device→host
+            # exchange.  Let the adaptive controller compare observed
+            # cardinality against the decision's estimate; it may cancel
+            # this run to re-plan the remaining QEP.
+            self.breaker_hook(self, i)
+            if self.cancelled:
+                return
         if self.host_blocked is not None and self.host_blocked[0] == i:
             index, since = self.host_blocked
             self.host_blocked = None
@@ -730,7 +747,8 @@ class CooperativeExecutor:
     # ------------------------------------------------------------------
     # Hybrid split execution
     # ------------------------------------------------------------------
-    def run_split(self, plan, split_index, ctx=None, **removed):
+    def run_split(self, plan, split_index, ctx=None, breaker_hook=None,
+                  **removed):
         """Execute the plan with split point ``H{split_index}``.
 
         ``ctx`` (an :class:`~repro.context.ExecutionContext`) carries the
@@ -741,6 +759,11 @@ class CooperativeExecutor:
         simulated time, and exhausting the retries raises
         :class:`~repro.errors.RetriesExhaustedError` for the caller's
         host fallback.
+
+        ``breaker_hook(sim, batch_index)`` — when given — fires at every
+        pipeline breaker (docs/adaptivity.md); a hook that cancels the
+        simulation makes this method raise
+        :class:`~repro.errors.ReplanTriggered` for the adaptive driver.
         """
         reject_removed_kwargs("CooperativeExecutor.run_split", removed)
         ctx = ExecutionContext.coerce(ctx)
@@ -752,12 +775,22 @@ class CooperativeExecutor:
                 plan, split_index, tracer, injector, *fragments)
             try:
                 sim = prepared.sim
+                sim.breaker_hook = breaker_hook
                 if ctx.deadline is not None:
                     sim.loop.schedule_at(
                         ctx.deadline,
                         lambda: sim.cancel(ctx.deadline, reason="deadline"),
                         label="deadline")
                 total = sim.run()
+                if sim.cancelled and sim.cancel_reason == "replan":
+                    raise ReplanTriggered(
+                        f"H{split_index}: cancelled at a pipeline breaker "
+                        f"to re-plan the remaining QEP",
+                        strategy=f"H{split_index}", at=sim.cancelled_at,
+                        elapsed=sim.cancelled_at - sim.origin,
+                        batches_consumed=sum(
+                            1 for t in sim.consumed if t is not None),
+                        batches_total=sim.n_batches)
                 if sim.cancelled:
                     raise DeadlineExceededError(
                         f"H{split_index}: deadline {ctx.deadline}s expired "

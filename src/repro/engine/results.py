@@ -112,6 +112,12 @@ class ExecutionReport:
     #: count, partitioner, per-partition placements and re-executions.
     #: Empty for single-device runs.
     cluster: dict = field(default_factory=dict)
+    #: Mid-query re-planning audit (docs/adaptivity.md): whether
+    #: adaptivity was enabled, how often the run revised its decision,
+    #: the cancelled attempts' wasted time, and one event per breaker
+    #: check that acted.  Empty for non-adaptive runs; ``to_dict``
+    #: normalises it to the always-present v5 ``adaptivity`` block.
+    adaptivity: dict = field(default_factory=dict)
     notes: dict = field(default_factory=dict)
 
     @property
@@ -165,7 +171,12 @@ class ExecutionReport:
     #: unchanged apart from this version number, and a NULL
     #: deadline/speculation config reproduces v3 reports byte for byte
     #: modulo ``schema_version`` (pinned by the golden-report test).
-    SCHEMA_VERSION = 4
+    #: v5: an always-present ``adaptivity`` block audits mid-query
+    #: re-planning (enabled flag, replan count, wasted time, correction
+    #: factor, per-event trail — docs/adaptivity.md); non-adaptive runs
+    #: carry the null block and are otherwise byte-identical to v4
+    #: (adaptivity off ≡ no breaker hook, pinned by the golden tests).
+    SCHEMA_VERSION = 5
 
     def to_dict(self, include_rows=False, include_timeline=False):
         """JSON-serialisable view of the report (for tooling/logs).
@@ -201,6 +212,15 @@ class ExecutionReport:
                       if isinstance(value, (str, int, float, bool, list))},
         }
         payload["cluster"] = dict(self.cluster)
+        adaptivity = {
+            "enabled": False,
+            "replans": 0,
+            "correction_factor": 1.0,
+            "wasted_time": 0.0,
+            "events": [],
+        }
+        adaptivity.update(self.adaptivity)
+        payload["adaptivity"] = adaptivity
         payload["resilience"] = {
             "fallback_from": self.fallback_from,
             "retries": self.retries,

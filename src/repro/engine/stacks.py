@@ -70,7 +70,10 @@ class StackRunner:
         self._ndp = NDPEngine(catalog, database, device, self._ndp_config)
         self._cooperative = CooperativeExecutor(
             self._host_native, self._ndp, self._timing_native)
-        self._plan_cache = {}
+        self._plan_cache = {}   # sql -> (statistics_version, QueryPlan)
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+        self._plan_cache_invalidations = 0
 
     @property
     def ndp_engine(self):
@@ -92,16 +95,40 @@ class StackRunner:
 
         Sweeps and the concurrent scheduler re-run the same JOB queries
         many times; parsing and join-order optimisation are pure
-        functions of the SQL and the catalog, so the built plan is cached
-        and shared.  Plans are read-only during execution — engines pull
-        live table data through the catalog at run time, so updates
-        between runs are still observed.
+        functions of the SQL and the catalog *statistics*, so the built
+        plan is cached keyed by ``(sql, statistics_version)``: writes
+        refresh the statistics and bump
+        :meth:`~repro.relational.catalog.Catalog.statistics_version`, so
+        a stale cached plan (built when cardinality estimates were
+        different) is invalidated instead of silently reused.  Plans are
+        read-only during execution — engines pull live table data
+        through the catalog at run time, so updates between runs are
+        still observed either way; the version only affects *estimates*.
+        :meth:`plan_cache_stats` exposes the hit/miss/invalidation
+        counts for reports and benches.
         """
-        plan = self._plan_cache.get(sql)
-        if plan is None:
-            plan = build_plan(sql, self.catalog)
-            self._plan_cache[sql] = plan
+        version = self.catalog.statistics_version()
+        entry = self._plan_cache.get(sql)
+        if entry is not None:
+            cached_version, plan = entry
+            if cached_version == version:
+                self._plan_cache_hits += 1
+                return plan
+            self._plan_cache_invalidations += 1
+        else:
+            self._plan_cache_misses += 1
+        plan = build_plan(sql, self.catalog)
+        self._plan_cache[sql] = (version, plan)
         return plan
+
+    def plan_cache_stats(self):
+        """``{hits, misses, invalidations, entries}`` of the plan cache."""
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "invalidations": self._plan_cache_invalidations,
+            "entries": len(self._plan_cache),
+        }
 
     def run(self, query, stack, split_index=None, ctx=None, **removed):
         """Execute ``query`` (SQL text or QueryPlan) on ``stack``.

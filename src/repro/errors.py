@@ -101,6 +101,29 @@ class DeadlineExceededError(ExecutionError):
         self.partial = dict(partial or {})
 
 
+class ReplanTriggered(ExecutionError):
+    """A pipeline-breaker check cancelled the run to re-plan mid-flight.
+
+    Internal control flow of adaptive execution (docs/adaptivity.md):
+    the breaker hook observed a cardinality estimate off by more than
+    the :class:`~repro.core.planning.ReplanPolicy` threshold and
+    cooperatively cancelled the simulation.  ``elapsed`` is the
+    cancelled attempt's simulated cost (the price of changing course),
+    ``batches_consumed`` how far the host side got.  The adaptive
+    driver catches this and restarts the remaining work under the
+    revised decision; it escaping to user code is a bug.
+    """
+
+    def __init__(self, message, strategy=None, at=0.0, elapsed=0.0,
+                 batches_consumed=0, batches_total=0):
+        super().__init__(message)
+        self.strategy = strategy
+        self.at = at
+        self.elapsed = elapsed
+        self.batches_consumed = batches_consumed
+        self.batches_total = batches_total
+
+
 class RetriesExhaustedError(ExecutionError):
     """An offloaded execution gave up after its bounded retries.
 

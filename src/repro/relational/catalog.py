@@ -43,6 +43,16 @@ class Catalog:
         for table in self._tables.values():
             table.flush()
 
+    def statistics_version(self):
+        """Monotone version of the catalog's statistics.
+
+        The sum of every table's applied-mutation count: any write that
+        refreshed a table's :class:`TableStatistics` bumps it, so plan
+        caches keyed on ``(sql, statistics_version())`` re-plan instead
+        of serving a plan built from stale statistics.
+        """
+        return sum(table.mutation_count for table in self._tables.values())
+
     def total_rows(self):
         """Total row count across tables."""
         return sum(table.row_count for table in self._tables.values())

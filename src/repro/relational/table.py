@@ -75,6 +75,12 @@ class RelationalTable:
         self._database = database
         self.family = database.create_column_family(schema.name)
         self.statistics = TableStatistics(schema.name, seed=stats_seed)
+        #: Monotone count of applied mutations (inserts/deletes/updates).
+        #: Every applied write refreshes ``statistics``, so this doubles
+        #: as the table's statistics version — the plan cache keys on
+        #: the catalog-wide sum (:meth:`Catalog.statistics_version`) so
+        #: refreshed statistics invalidate cached plans.
+        self.mutation_count = 0
         self.indexes = {}
         for column_name in schema.secondary_indexes:
             column = schema.column(column_name)
@@ -117,6 +123,7 @@ class RelationalTable:
         for column_name, index in self.indexes.items():
             index.insert(row.get(column_name), raw_key)
         self.statistics.observe_row(row)
+        self.mutation_count += 1
 
     def insert_many(self, rows):
         """Bulk insert."""
@@ -132,6 +139,7 @@ class RelationalTable:
         self.family.delete(raw_key)
         for column_name, index in self.indexes.items():
             index.delete(row.get(column_name), raw_key)
+        self.mutation_count += 1
         return True
 
     def update(self, pk_value, changes):
@@ -158,6 +166,7 @@ class RelationalTable:
             if old_value != new_value:
                 index.delete(old_value, raw_key)
                 index.insert(new_value, raw_key)
+        self.mutation_count += 1
         return new_row
 
     # ------------------------------------------------------------------

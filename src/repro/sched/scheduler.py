@@ -37,7 +37,8 @@ byte.
 from dataclasses import dataclass, field
 
 from repro.context import ExecutionContext
-from repro.core import DeviceLoad, ExecutionStrategy
+from repro.core import (CardinalityFeedback, DeviceLoad, ExecutionStrategy,
+                        PlanningContext)
 from repro.engine.stacks import Stack
 from repro.errors import (AdmissionTimeoutError, DeviceOverloadError,
                           ReproError)
@@ -158,7 +159,7 @@ class WorkloadResult:
     def to_dict(self, include_reports=False):
         """JSON-ready summary; stable key order for determinism checks."""
         return {
-            "schema_version": 2,
+            "schema_version": 3,
             "seed": self.seed,
             "makespan": self.makespan,
             "queries": len(self.jobs),
@@ -189,11 +190,18 @@ class WorkloadScheduler:
     """
 
     def __init__(self, env, ctx=None, max_inflight=None, cluster=None,
-                 queries=None):
+                 queries=None, correction=None, replan=None):
         self.env = env
         self.runner = env.runner
         self.planner = env.planner
         self.cluster = cluster
+        #: Shared :class:`~repro.core.planning.CostCorrection` EWMA store
+        #: feeding every admission decision (None = plan from raw
+        #: statistics — byte-identical to pre-adaptive behaviour).
+        self.correction = correction
+        #: :class:`~repro.core.planning.ReplanPolicy` enabling mid-query
+        #: re-planning at pipeline breakers (None = no breaker hook).
+        self.replan = replan
         #: Optional ``{name: sql}`` mapping consulted before the JOB
         #: catalog, so generated workloads (:mod:`repro.workloads.sqlgen`)
         #: schedule exactly like named JOB queries.
@@ -248,6 +256,12 @@ class WorkloadScheduler:
             deadline = self.ctx.deadline
         job = QueryJob(seq=len(self.jobs), name=name, sql=self._sql_for(name),
                        arrival=at, client=client, deadline=deadline)
+        # Adaptive bookkeeping (same private-attribute convention as
+        # ``job._prepared``): replan count, cancelled-attempt time and
+        # the audit trail of breaker decisions.
+        job._replans = 0
+        job._adapt_wasted = 0.0
+        job._adapt_events = []
         self.jobs.append(job)
         self.kernel.loop.schedule_at(at, lambda: self._arrive(job),
                                      label=f"arrive {job.label}")
@@ -292,7 +306,16 @@ class WorkloadScheduler:
             raise ReproError(
                 f"workload drained with unfinished queries: {unfinished}")
         makespan = self.kernel.horizon
-        extras = {}
+        extras = {"plan_cache": self.runner.plan_cache_stats()}
+        if self.replan is not None or self.correction is not None:
+            extras["adaptivity"] = {
+                "replans": sum(job._replans for job in self.jobs),
+                "wasted_time": sum(job._adapt_wasted for job in self.jobs),
+                "correction": (self.correction.snapshot()
+                               if self.correction is not None else {}),
+                "observations": (self.correction.observations
+                                 if self.correction is not None else 0),
+            }
         if self.cluster is not None:
             extras["cluster"] = {
                 "n_devices": self.cluster.n_devices,
@@ -389,7 +412,11 @@ class WorkloadScheduler:
         now = self.kernel.now
         target = self._least_loaded_device()
         load = self.current_load(target)
-        job.decision = self.planner.decide(job.plan, device_load=load)
+        job.decision = self.planner.decide(
+            job.plan,
+            context=PlanningContext(device_load=load,
+                                    correction=self.correction,
+                                    key=job.sql, replan=self.replan))
         if (job.decision.strategy is ExecutionStrategy.HOST_ONLY
                 or job.decision.split_index is None):
             self._start_host(job)
@@ -445,13 +472,151 @@ class WorkloadScheduler:
                 args={"placement": job.placement,
                       "reserved_bytes": reserved,
                       "core_utilization": round(load.core_utilization, 4)})
+        self._launch(job, prepared, target, now)
+        return True
+
+    def _launch(self, job, prepared, target, now):
+        """Start a prepared offload, wiring completion and adaptivity."""
+        if self.replan is not None:
+            prepared.sim.breaker_hook = (
+                lambda sim, i, job=job, prepared=prepared, target=target:
+                    self._breaker_check(job, prepared, target, sim, i))
         prepared.start(
             now,
             on_complete=lambda sim, job=job, prepared=prepared:
                 self._offload_done(job, prepared, target),
             on_abandon=lambda sim, error, job=job, prepared=prepared:
                 self._offload_abandoned(job, prepared, error, target))
-        return True
+
+    # ------------------------------------------------------------------
+    # Mid-query re-planning
+    # ------------------------------------------------------------------
+    def _breaker_check(self, job, prepared, target, sim, i):
+        """Pipeline-breaker feedback: second-guess the in-flight plan.
+
+        Called by the split simulation each time a device batch lands
+        host-side.  Extrapolates the intermediate-result cardinality
+        from the batches observed so far (exact once the device fragment
+        finished — it executes eagerly and announces the batch count
+        with the first push), compares it against the estimate baked
+        into the admission decision, and — past the policy threshold or
+        on device saturation — asks the decision to revise itself.  A
+        revision that changes the placement cooperatively cancels the
+        offload (reason ``"replan"``) and either sheds the query to the
+        host or restarts it at the revised split point on the same
+        device; the cancelled attempt's elapsed time is accounted as
+        ``wasted_time`` on the job's adaptivity audit.
+        """
+        policy = self.replan
+        if policy is None or job._replans >= policy.max_replans:
+            return
+        batches_seen = i + 1
+        if batches_seen < policy.min_batches:
+            return
+        decision = job.decision
+        estimate = decision.estimate_for()
+        if estimate.intermediate_rows is None:
+            return
+        now = sim.clock.now
+        observed_so_far = sum(len(batch)
+                              for batch in sim.batches[:batches_seen])
+        observed_total = int(round(observed_so_far * sim.n_batches
+                                   / batches_seen))
+        load = self.current_load(target)
+        saturated = load.core_utilization >= policy.saturation_shed
+        feedback = CardinalityFeedback(
+            observed_rows=observed_total,
+            estimated_rows=estimate.intermediate_rows,
+            batches_observed=batches_seen,
+            batches_total=sim.n_batches,
+            raw_rows=estimate.raw_rows,
+            at=now,
+            device_saturated=saturated)
+        if feedback.error < policy.error_threshold and not saturated:
+            return
+        revised = decision.revise(feedback)
+        event = {
+            "at": now,
+            "batches_observed": batches_seen,
+            "batches_total": sim.n_batches,
+            "observed_rows": observed_total,
+            "estimated_rows": estimate.intermediate_rows,
+            "error": round(feedback.error, 6),
+            "device_saturated": saturated,
+            "from": decision.strategy_name,
+            "to": revised.strategy_name,
+        }
+        if revised.strategy_name == decision.strategy_name:
+            # Re-pricing with the observed cardinality still prefers the
+            # running plan: record the audit, keep going.
+            event["action"] = "kept"
+            job._adapt_events.append(event)
+            job._replans += 1
+            return
+        if not prepared.cancel(now, reason="replan"):
+            return               # completed at this very timestamp
+        job._replans += 1
+        wasted = max(0.0, now - job.admitted_at)
+        job._adapt_wasted += wasted
+        job._prepared = None
+        self._device_inflight -= 1
+        self._device_inflight_by[target] -= 1
+        self._inflight -= 1      # _start_host / restart re-increments
+        old_placement = job.placement
+        if self.tracer.enabled:
+            self.tracer.instant(
+                SCHED_TRACK, f"replan {job.label}", now,
+                args={"from": decision.strategy_name,
+                      "to": revised.strategy_name,
+                      "error": round(feedback.error, 4),
+                      "saturated": saturated})
+        if (revised.strategy is ExecutionStrategy.HOST_ONLY
+                or revised.split_index is None):
+            event["action"] = "shed-to-host"
+            job._adapt_events.append(event)
+            job.decision = revised
+            self._start_host(job, fallback_from=f"replan:{old_placement}",
+                             wasted_time=wasted)
+            self._drain()
+            return
+        # Shift the split point: restart on the same device at the
+        # revised k.  If the new reservation no longer fits (other
+        # queries grabbed the freed buffers is impossible mid-event,
+        # but a *larger* split may simply not fit), shed to the host.
+        split_index = revised.split_index
+        if self.cluster is None:
+            cooperative = self.runner.cooperative
+            kernel = self.kernel
+        else:
+            cooperative = self.cluster.executors[target]
+            kernel = self.kernel.view(target)
+        try:
+            restarted = cooperative.prepare_split(
+                job.plan, split_index, self.ctx, kernel=kernel,
+                trace_label=job.label)
+        except (AdmissionTimeoutError, DeviceOverloadError) as error:
+            event["action"] = "shed-to-host"
+            event["restart_failed"] = type(error).__name__
+            job._adapt_events.append(event)
+            job.decision = revised
+            self._start_host(job, fallback_from=f"replan:{old_placement}",
+                             wasted_time=wasted)
+            self._drain()
+            return
+        event["action"] = "shift-split"
+        job._adapt_events.append(event)
+        job.decision = revised
+        job.placement = (f"H{split_index}" if self.cluster is None
+                         else f"H{split_index}@d{target}")
+        job._prepared = restarted
+        job._target = target
+        self._inflight += 1
+        self._device_inflight += 1
+        self._device_inflight_by[target] += 1
+        reserved = sum(device.reserved_bytes for device in self.devices)
+        self._peak_reserved = max(self._peak_reserved, reserved)
+        self._launch(job, restarted, target, now)
+        self._drain()
 
     # ------------------------------------------------------------------
     # Host-side execution
@@ -501,6 +666,14 @@ class WorkloadScheduler:
         job._prepared = None
         self._device_inflight -= 1
         self._device_inflight_by[device_index] -= 1
+        if self.correction is not None and job.decision is not None:
+            # Fold the observed intermediate-result cardinality into the
+            # EWMA against the *uncorrected* estimate, so the factor
+            # converges to the true statistics error.
+            estimate = job.decision.estimate_for()
+            if estimate.raw_rows is not None:
+                self.correction.observe(job.sql, estimate.raw_rows,
+                                        prepared.intermediate_rows)
         self._finish(job, now)
 
     def _offload_abandoned(self, job, prepared, error, device_index=0):
@@ -582,6 +755,19 @@ class WorkloadScheduler:
     def _finish(self, job, now):
         job.completed_at = now
         self._inflight -= 1
+        if self.replan is not None and job.report is not None:
+            job.report.adaptivity = {
+                "enabled": True,
+                "replans": job._replans,
+                "correction_factor": (
+                    self.correction.factor(job.sql)
+                    if self.correction is not None else 1.0),
+                "wasted_time": job._adapt_wasted,
+                "events": list(job._adapt_events),
+            }
+            # total_time is wall clock since arrival, so the cancelled
+            # attempt's elapsed time is already inside it — the audit
+            # block records it separately, no double charge.
         if self.tracer.enabled:
             self.tracer.instant(SCHED_TRACK, f"finish {job.label}", now,
                                 args={"placement": job.placement,

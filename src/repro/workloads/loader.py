@@ -82,9 +82,14 @@ class Environment:
         return self.runner.run(query, stack, split_index=split_index,
                                ctx=ctx)
 
-    def decide(self, query, device_load=None):
-        """Shortcut to :meth:`HybridPlanner.decide`."""
-        return self.planner.decide(query, device_load=device_load)
+    def decide(self, query, context=None, **removed):
+        """Shortcut to :meth:`HybridPlanner.decide`.
+
+        ``context`` is a :class:`~repro.core.planning.PlanningContext`;
+        the legacy ``device_load=`` keyword was removed and raises.
+        """
+        reject_removed_kwargs("Environment.decide", removed)
+        return self.planner.decide(query, context=context)
 
 
 def _lsm_config_for(spec):

@@ -44,14 +44,17 @@ def test_trace_reproduces_golden_bytes(job_env):
     assert export_trace(job_env) == GOLDEN.read_text()
 
 
-def test_v4_report_is_byte_identical_to_v3_for_null_config(job_env):
-    """Schema v4 with NULL deadline/speculation config reproduces v3.
+def test_v5_report_is_byte_identical_to_v3_for_null_config(job_env):
+    """Schema v5 with adaptivity off reproduces the v3 fixture.
 
     The fixture is the pre-v4 ``to_dict`` payload of the same golden
-    run, captured *before* the robustness PR.  The only v4 delta for a
-    single-device run must be ``schema_version`` itself: no deadline,
-    no speculation and no heterogeneous specs means byte-for-byte the
-    same report.  Regenerate only with an explained schema bump:
+    run, captured *before* the robustness PR.  The v4 delta for a
+    single-device run was ``schema_version`` itself (no deadline, no
+    speculation, no heterogeneous specs); the v5 delta is the
+    always-present ``adaptivity`` block, which for a non-adaptive run
+    must be exactly the null audit — no replans, factor 1.0, nothing
+    wasted.  Everything else stays byte-for-byte identical.
+    Regenerate only with an explained schema bump:
 
         PYTHONPATH=src python -c "
         import json
@@ -67,7 +70,10 @@ def test_v4_report_is_byte_identical_to_v3_for_null_config(job_env):
     """
     report = job_env.run(query("1a"), Stack.HYBRID, split_index=0)
     payload = report.to_dict(include_timeline=True)
-    assert payload["schema_version"] == 4
+    assert payload["schema_version"] == 5
+    assert payload.pop("adaptivity") == {
+        "enabled": False, "replans": 0, "correction_factor": 1.0,
+        "wasted_time": 0.0, "events": []}
     payload["schema_version"] = 3
     fresh = json.dumps(payload, indent=1, sort_keys=True) + "\n"
     assert fresh == GOLDEN_REPORT_V3.read_text()
